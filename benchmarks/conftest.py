@@ -1,0 +1,56 @@
+"""Shared fixtures/helpers for the experiment-reproduction benches.
+
+Every bench regenerates one table or figure of the thesis's evaluation
+chapter: it prints the same rows/series the thesis reports, writes them
+under ``benchmarks/results/`` and asserts the qualitative shape (who
+wins, rough factors, where the crossovers/failures fall).  The
+``benchmark`` fixture times the underlying simulation/compile step so the
+harness integrates with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+
+
+def fmt_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    cols = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, cols))
+
+    out = [title, line(headers), line(["-" * w for w in cols])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+@pytest.fixture(scope="session")
+def lenet_fused():
+    from repro.models import lenet5
+    from repro.relay import fuse_operators
+
+    return fuse_operators(lenet5())
+
+
+@pytest.fixture(scope="session")
+def mobilenet_fused():
+    from repro.models import mobilenet_v1
+    from repro.relay import fuse_operators
+
+    return fuse_operators(mobilenet_v1())

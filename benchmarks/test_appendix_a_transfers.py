@@ -1,0 +1,61 @@
+"""Appendix A — FPGA buffer transfer speeds.
+
+Host<->device bandwidth versus transfer size for the three boards.  The
+reproduction's transfer model encodes the appendix's qualitative results:
+bandwidth ramps with size toward the PCIe link rate, and the S10MX
+engineering sample's writes are pathologically slow (which caps its
+pipelined LeNet throughput, Section 6.3.1).
+"""
+
+from conftest import fmt_table, save_table
+
+from repro.device import (
+    ALL_BOARDS,
+    STRATIX10_MX,
+    STRATIX10_SX,
+    effective_d2h_gbs,
+    effective_h2d_gbs,
+)
+
+SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 24]
+
+
+def _curves():
+    out = {}
+    for board in ALL_BOARDS:
+        out[board.name] = {
+            "h2d": [effective_h2d_gbs(board, s) for s in SIZES],
+            "d2h": [effective_d2h_gbs(board, s) for s in SIZES],
+        }
+    return out
+
+
+def test_appendix_a_transfer_speeds(benchmark):
+    curves = benchmark.pedantic(_curves, rounds=1, iterations=1)
+
+    rows = []
+    for bname, c in curves.items():
+        for direction in ("h2d", "d2h"):
+            rows.append(
+                [bname, direction]
+                + [f"{v * 1e3:.1f}" for v in c[direction]]  # MB/s
+            )
+    text = fmt_table(
+        "Appendix A - effective transfer bandwidth (MB/s) vs size "
+        + "/".join(f"{s >> 10}K" for s in SIZES),
+        ["board", "dir"] + [f"{s >> 10}K" for s in SIZES],
+        rows,
+    )
+    save_table("appendix_a_transfers", text)
+
+    for bname, c in curves.items():
+        # bandwidth is monotone in transfer size
+        assert all(b >= a for a, b in zip(c["h2d"], c["h2d"]))
+        assert all(b >= a for a, b in zip(c["d2h"], c["d2h"]))
+    # S10MX writes are far below its reads and far below the S10SX
+    mx, sx = curves["S10MX"], curves["S10SX"]
+    assert mx["h2d"][-1] < 0.2 * mx["d2h"][-1]
+    assert mx["h2d"][-1] < 0.1 * sx["h2d"][-1]
+    # the PCIe x16 board out-transfers the x8 board at large sizes
+    a10 = curves["A10"]
+    assert sx["h2d"][-1] > a10["h2d"][-1]

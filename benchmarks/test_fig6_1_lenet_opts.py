@@ -1,0 +1,89 @@
+"""Figure 6.1 / Table 6.4 — impact of each optimization on LeNet FPS.
+
+Five cumulative bitstreams (Base, Unrolling, Channels, Autorun,
+TVM-Autorun) on three boards, serial and concurrent execution.
+Paper anchors: base 568/524/402 FPS (S10MX/S10SX/A10); best (TVM-Autorun
+with CE) 1706/4917/2653 FPS, i.e. 3.0x/9.4x/6.6x over base.
+"""
+
+from conftest import fmt_table, save_table
+
+from repro.aoc import compile_program
+from repro.device import ALL_BOARDS, STRATIX10_SX
+from repro.flow import LEVELS, build_pipelined
+from repro.runtime import simulate_pipelined
+
+PAPER_BASE = {"S10MX": 568, "S10SX": 524, "A10": 402}
+PAPER_BEST = {"S10MX": 1706, "S10SX": 4917, "A10": 2653}
+
+
+def _measure_all():
+    table = {}
+    for level in LEVELS:
+        for board in ALL_BOARDS:
+            prog, plan = build_pipelined(_fused(), level, board)
+            bs = compile_program(prog, board)
+            table[(level, board.name, "serial")] = simulate_pipelined(
+                bs, plan, concurrent=False
+            ).fps
+            table[(level, board.name, "CE")] = simulate_pipelined(
+                bs, plan, concurrent=True
+            ).fps
+    return table
+
+
+_cache = {}
+
+
+def _fused():
+    if "fused" not in _cache:
+        from repro.models import lenet5
+        from repro.relay import fuse_operators
+
+        _cache["fused"] = fuse_operators(lenet5())
+    return _cache["fused"]
+
+
+def test_fig6_1_lenet_optimization_impact(benchmark):
+    table = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+
+    rows = []
+    for level in LEVELS:
+        for mode in ("serial", "CE"):
+            rows.append(
+                [f"{level}[{mode}]"]
+                + [f"{table[(level, b.name, mode)]:.0f}" for b in ALL_BOARDS]
+            )
+    text = fmt_table(
+        "Figure 6.1 / Table 6.4 - LeNet FPS per bitstream "
+        "(paper base: MX 568 / SX 524 / A10 402; "
+        "paper best CE: MX 1706 / SX 4917 / A10 2653)",
+        ["bitstream", "S10MX", "S10SX", "A10"],
+        rows,
+    )
+    from repro.viz import grouped_bar_chart
+
+    chart = grouped_bar_chart(
+        "Figure 6.1 (rendered) - CE FPS per level",
+        list(LEVELS),
+        {b.name: [table[(lv, b.name, "CE")] for lv in LEVELS] for b in ALL_BOARDS},
+    )
+    save_table("fig6_1_lenet_opts", text + "\n\n" + chart)
+
+    # shape assertions ---------------------------------------------------
+    for board in ALL_BOARDS:
+        base = table[("base", board.name, "serial")]
+        best = table[("tvm_autorun", board.name, "CE")]
+        # each optimization level improves serial throughput
+        fps = [table[(lv, board.name, "serial")] for lv in LEVELS]
+        assert all(b >= 0.95 * a for a, b in zip(fps, fps[1:])), board.name
+        # total speedup in the paper's 3x-10x band (we allow 2x-25x)
+        assert 2.0 < best / base < 25.0, board.name
+    # S10SX is the fastest optimized platform, as in the paper
+    best_fps = {b.name: table[("tvm_autorun", b.name, "CE")] for b in ALL_BOARDS}
+    assert best_fps["S10SX"] > best_fps["A10"] > best_fps["S10MX"]
+    # concurrent execution helps channel-enabled bitstreams the most
+    assert (
+        table[("tvm_autorun", "S10SX", "CE")]
+        > 2 * table[("tvm_autorun", "S10SX", "serial")]
+    )

@@ -1,0 +1,66 @@
+"""Figure 6.2 — OpenCL event-profiling breakdown, base vs autorun LeNet.
+
+The paper's observation: on the S10MX the host-to-device *write* time
+dominates the per-image runtime (the engineering-sample BSP's write path
+is pathological), while on the S10SX/A10 kernels dominate.
+"""
+
+from conftest import fmt_table, save_table
+
+from repro.aoc import compile_program
+from repro.device import ALL_BOARDS
+from repro.flow import build_pipelined
+from repro.models import lenet5
+from repro.relay import fuse_operators
+from repro.runtime import event_profile, simulate_pipelined
+
+
+def _profiles():
+    fused = fuse_operators(lenet5())
+    out = {}
+    for level in ("base", "autorun"):
+        for board in ALL_BOARDS:
+            prog, plan = build_pipelined(fused, level, board)
+            bs = compile_program(prog, board)
+            # event profiling forces serial execution (thesis Section 5.2)
+            result = simulate_pipelined(bs, plan, concurrent=False)
+            out[(level, board.name)] = event_profile(result)
+    return out
+
+
+def test_fig6_2_event_profiling(benchmark):
+    profiles = benchmark.pedantic(_profiles, rounds=1, iterations=1)
+
+    rows = []
+    for (level, board), p in profiles.items():
+        rows.append(
+            [
+                f"{level}/{board}",
+                f"{p['kernel_us']:.0f}",
+                f"{p['write_us']:.0f}",
+                f"{p['read_us']:.0f}",
+                f"{p['overhead_us']:.0f}",
+            ]
+        )
+    text = fmt_table(
+        "Figure 6.2 - per-image event breakdown (us): kernel / write / read / "
+        "host overhead",
+        ["config", "kernel", "write", "read", "overhead"],
+        rows,
+    )
+    save_table("fig6_2_event_profile", text)
+
+    # the S10MX writes dominate its optimized runtime (paper's key finding)
+    mx = profiles[("autorun", "S10MX")]
+    assert mx["write_us"] > mx["kernel_us"]
+    # on the S10SX, kernels dominate transfers
+    sx = profiles[("autorun", "S10SX")]
+    assert sx["kernel_us"] > sx["write_us"] + sx["read_us"]
+    # MX write time exceeds the other platforms' by a large factor
+    assert mx["write_us"] > 5 * profiles[("autorun", "S10SX")]["write_us"]
+    # autorun cuts host overhead relative to base
+    for board in ALL_BOARDS:
+        assert (
+            profiles[("autorun", board.name)]["overhead_us"]
+            < profiles[("base", board.name)]["overhead_us"]
+        )

@@ -1,0 +1,137 @@
+"""Table 6.6 / Figure 6.3 — 1x1-conv tiling sweep on the Arria 10.
+
+Single-kernel bitstreams (as in the thesis, which synthesized just the
+parameterized pointwise kernel per configuration): for each tiling the
+bench reports DSPs, fmax and the improvement of the summed MobileNet
+1x1-layer time over the naive schedule.
+
+Paper anchors: the naive schedule takes 1326 ms for all 1x1 convolutions;
+tilings between 7/4/8 and 7/16/8 land at 20.7-10.8 ms (64x-123x), with
+275-987 DSPs and fmax falling from ~195 to ~137 MHz as tiles grow.
+"""
+
+from conftest import fmt_table, save_table
+
+import repro.ir as ir
+from repro.aoc import compile_program
+from repro.device import ARRIA10
+from repro.flow import deploy_folded  # noqa: F401 (import check)
+from repro.models import mobilenet_v1
+from repro.relay import fuse_operators
+from repro.schedule import lower
+from repro.topi import (
+    ConvSpec,
+    ConvTiling,
+    conv2d_symbolic,
+    conv2d_tensors,
+    schedule_conv2d_naive,
+    schedule_symbolic_conv,
+)
+
+#: the thesis's Table 6.6 configurations (w2vec, c2vec, c1vec)
+CONFIGS = [
+    (7, 4, 8),
+    (7, 4, 16),
+    (7, 8, 4),
+    (7, 8, 8),
+    (7, 8, 16),
+    (7, 16, 4),
+    (7, 16, 8),
+]
+
+PAPER_DSPS = {(7, 4, 8): 275, (7, 4, 16): 531, (7, 8, 4): 267, (7, 8, 8): 507,
+              (7, 8, 16): 987, (7, 16, 4): 507, (7, 16, 8): 971}
+
+
+def _one_by_one_layers(fused):
+    out = []
+    for fn in fused:
+        if fn.op == "conv2d" and fn.anchor.attrs["field"] == 1:
+            c1, h, w = fn.anchor.inputs[0].out_shape
+            out.append((c1, h, w, fn.anchor.attrs["filters"]))
+    return out
+
+
+def _naive_total_ms(layers):
+    """Sum of per-layer times under the default TVM schedule (one static
+    naive kernel per layer, as the thesis's baseline)."""
+    total = 0.0
+    for i, (c1, h, w, k) in enumerate(layers):
+        spec = ConvSpec(c1=c1, h=h, w=w, k=k, f=1, bias=True, activation="relu6")
+        _, out = conv2d_tensors(spec, f"l{i}")
+        kern = lower(schedule_conv2d_naive(out, auto_unroll_ff=True), f"k{i}")
+        bs = compile_program(ir.Program([kern], f"p{i}"), ARRIA10)
+        total += bs.kernel_time_us(f"k{i}") / 1e3
+    return total
+
+
+def _tiled_total_ms(layers, cfg):
+    w2, c2, c1v = cfg
+    handle, _, out = conv2d_symbolic(1, 1, "p1x1", bias=True, activation="relu6")
+    sch = schedule_symbolic_conv(out, ConvTiling(w2vec=w2, c2vec=c2, c1vec=c1v), True)
+    kern = lower(sch, "k1x1")
+    bs = compile_program(ir.Program([kern], "p1x1"), ARRIA10)
+    total = 0.0
+    for (c1, h, w, k) in layers:
+        total += bs.kernel_time_us("k1x1", handle.bindings(c1, h, w, k)) / 1e3
+    return total, bs
+
+
+def _sweep():
+    fused = fuse_operators(mobilenet_v1())
+    layers = _one_by_one_layers(fused)
+    naive_ms = _naive_total_ms(layers)
+    points = []
+    for cfg in CONFIGS:
+        tiled_ms, bs = _tiled_total_ms(layers, cfg)
+        points.append(
+            {
+                "cfg": cfg,
+                "ms": tiled_ms,
+                "dsps": bs.total.dsps,
+                "fmax": bs.fmax_mhz,
+                "improvement": naive_ms / tiled_ms,
+            }
+        )
+    return naive_ms, points
+
+
+def test_fig6_3_tiling_sweep(benchmark):
+    naive_ms, points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for p in points:
+        w2, c2, c1 = p["cfg"]
+        rows.append(
+            [f"{w2}/{c2}/{c1}", p["dsps"], f"{PAPER_DSPS[p['cfg']]}",
+             f"{p['fmax']:.0f}", f"{p['ms']:.1f}", f"{p['improvement']:.0f}x"]
+        )
+    text = fmt_table(
+        f"Table 6.6 / Fig 6.3 - A10 1x1-conv tiling sweep "
+        f"(naive total: {naive_ms:.0f} ms; paper 1326 ms; paper improvements "
+        "64x-123x)",
+        ["w2/c2/c1", "DSPs", "paperDSP", "fmax", "1x1 ms", "improvement"],
+        rows,
+    )
+    save_table("fig6_3_tiling_sweep", text)
+
+    # naive total is in the right regime (paper 1326 ms; our naive model
+    # is ~an order pessimistic, see EXPERIMENTS.md)
+    assert 200 < naive_ms < 60000
+    # every tiling improves on naive by a large factor (paper 64x-123x)
+    assert all(p["improvement"] > 50 for p in points)
+    # relative spread between smallest and largest config matches the
+    # paper's ~2x (123/64)
+    imps = [p["improvement"] for p in points]
+    assert 1.3 < max(imps) / min(imps) < 4.0
+    # DSPs grow with tile volume and track the paper's counts within 2x
+    for p in points:
+        assert 0.4 < p["dsps"] / PAPER_DSPS[p["cfg"]] < 2.5, p["cfg"]
+    # fmax declines as tiles grow (paper: 213 -> 137 MHz)
+    small = next(p for p in points if p["cfg"] == (7, 8, 4))
+    big = next(p for p in points if p["cfg"] == (7, 8, 16))
+    assert small["fmax"] > big["fmax"]
+    # diminishing returns: doubling DSPs does not double throughput at the
+    # large end (the paper's configuration-5-vs-4 observation)
+    gain = small["ms"] / big["ms"]
+    assert gain < 2.2

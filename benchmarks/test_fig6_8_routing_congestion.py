@@ -1,0 +1,83 @@
+"""Figure 6.8 + Section 6.5 — routing congestion at aggressive tilings.
+
+The thesis shows Quartus's routing-utilization heat map for the 7/16/8
+pointwise tiling on the S10SX, which fails to route despite DSPs being
+available.  This bench sweeps the congestion metric across tilings and
+locates the failure frontier per board.
+"""
+
+import pytest
+from conftest import fmt_table, save_table
+
+from repro.device import ARRIA10, STRATIX10_MX, STRATIX10_SX
+from repro.errors import FitError, RoutingError
+from repro.flow import default_folded_config, deploy_folded
+from repro.topi import ConvTiling
+
+SWEEP = [
+    (7, 8, 4), (7, 8, 8),
+    (7, 16, 4), (7, 16, 8),
+    (7, 32, 4), (7, 32, 8),
+]
+
+
+def _frontier():
+    rows = []
+    for board in (STRATIX10_MX, STRATIX10_SX):
+        for cfg in SWEEP:
+            w2, c2, c1 = cfg
+            config = default_folded_config("mobilenet_v1", board)
+            config.conv_tilings[("conv", 1, 1)] = ConvTiling(w2, c2, c1)
+            try:
+                d = deploy_folded("mobilenet_v1", board, config=config)
+                rows.append(
+                    (board.name, cfg, "routed",
+                     d.bitstream.timing.congestion, d.bitstream.fmax_mhz)
+                )
+            except RoutingError:
+                from repro.aoc import compile_program
+                from repro.flow import build_folded
+                from repro.models import mobilenet_v1
+                from repro.relay import fuse_operators
+
+                prog, _ = build_folded(
+                    fuse_operators(mobilenet_v1()), config, board
+                )
+                bs = compile_program(prog, board, strict_fit=False)
+                rows.append(
+                    (board.name, cfg, "ROUTING FAIL", bs.timing.congestion, None)
+                )
+            except FitError:
+                rows.append((board.name, cfg, "FIT FAIL", None, None))
+    return rows
+
+
+def test_fig6_8_routing_frontier(benchmark):
+    rows = benchmark.pedantic(_frontier, rounds=1, iterations=1)
+
+    table_rows = []
+    for bname, cfg, outcome, congestion, fmax in rows:
+        table_rows.append(
+            [bname, f"{cfg[0]}/{cfg[1]}/{cfg[2]}", outcome,
+             "-" if congestion is None else f"{congestion:.2f}",
+             "-" if fmax is None else f"{fmax:.0f}"]
+        )
+    text = fmt_table(
+        "Figure 6.8 / Section 6.5 - MobileNet routing frontier "
+        "(paper: 7/16/8 fails on S10SX, 7/32/8 fails on S10MX; "
+        "7/16/4 and 7/32/4 route)",
+        ["board", "tiling", "outcome", "congestion", "fmax"],
+        table_rows,
+    )
+    save_table("fig6_8_routing_congestion", text)
+
+    outcome = {(b, c): o for b, c, o, *_ in rows}
+    # the paper's production configs route
+    assert outcome[("S10SX", (7, 16, 4))] == "routed"
+    assert outcome[("S10MX", (7, 32, 4))] == "routed"
+    # the paper's failing configs fail
+    assert outcome[("S10SX", (7, 16, 8))] != "routed"
+    assert outcome[("S10MX", (7, 32, 8))] != "routed"
+    # congestion grows monotonically with c1vec at fixed w2/c2 on the SX
+    cong = {c: x for b, c, o, x, _ in rows if b == "S10SX" and x is not None}
+    assert cong[(7, 16, 8)] > cong[(7, 16, 4)]

@@ -1,0 +1,75 @@
+"""The thesis's abstract, condensed into one reproducible scorecard.
+
+Claims: optimizations improve the naive TVM baseline by up to ~1150x;
+vs Keras/TF on the Xeon 8280, LeNet is up to 4.57x faster and MobileNet
+1.4x faster, while ResNet-18/34 suffer a ~0.4x slowdown.
+"""
+
+from conftest import fmt_table, save_table
+
+from repro.device import STRATIX10_SX
+from repro.errors import FitError, RoutingError
+from repro.flow import deploy_folded, deploy_pipelined
+from repro.perf import tf_cpu_fps
+
+
+def _scorecard():
+    rows = {}
+    # LeNet on its best board
+    ln_base = deploy_pipelined("lenet5", STRATIX10_SX, "base").fps()
+    ln = deploy_pipelined("lenet5", STRATIX10_SX, "tvm_autorun").fps()
+    rows["lenet5"] = (ln_base, ln, ln / tf_cpu_fps("lenet5"))
+    for net in ("mobilenet_v1", "resnet18", "resnet34"):
+        try:
+            base = deploy_folded(net, STRATIX10_SX, naive=True).fps()
+        except (FitError, RoutingError):
+            base = float("nan")
+        opt = deploy_folded(net, STRATIX10_SX).fps()
+        rows[net] = (base, opt, opt / tf_cpu_fps(net))
+    return rows
+
+
+PAPER = {
+    # network: (speedup over naive, ratio vs TF-CPU)
+    "lenet5": (9.38, 4.57),
+    "mobilenet_v1": (178.2, 1.40),
+    "resnet18": (846.0, 0.43),
+    "resnet34": (1150.0, 0.43),
+}
+
+
+def test_headline_claims(benchmark):
+    rows = benchmark.pedantic(_scorecard, rounds=1, iterations=1)
+
+    table = []
+    for net, (base, opt, vs_cpu) in rows.items():
+        speedup = opt / base
+        p_speed, p_cpu = PAPER[net]
+        table.append(
+            [net, f"{base:.4g}", f"{opt:.4g}", f"{speedup:.0f}x",
+             f"{p_speed}x", f"{vs_cpu:.2f}x", f"{p_cpu}x"]
+        )
+    text = fmt_table(
+        "Headline scorecard (S10SX): naive FPS, optimized FPS, speedup, "
+        "ratio vs Keras/TF-CPU — measured vs paper",
+        ["network", "naive", "optimized", "speedup", "paper",
+         "vs TF-CPU", "paper"],
+        table,
+    )
+    save_table("headline_claims", text)
+
+    # LeNet and MobileNet beat the CPU; ResNets lose — the paper's story
+    assert rows["lenet5"][2] > 1.0
+    assert rows["mobilenet_v1"][2] > 1.0
+    assert rows["resnet18"][2] < 1.0
+    assert rows["resnet34"][2] < 1.0
+    # speedup over naive grows with network size up to MobileNet
+    assert (
+        rows["mobilenet_v1"][1] / rows["mobilenet_v1"][0]
+        > rows["lenet5"][1] / rows["lenet5"][0]
+    )
+    # every optimized deployment is within 3x of the paper's FPS
+    paper_fps = {"lenet5": 4917, "mobilenet_v1": 30.3, "resnet18": 7.04,
+                 "resnet34": 4.6}
+    for net, (_, opt, _) in rows.items():
+        assert 0.33 < opt / paper_fps[net] < 3.0, net

@@ -1,0 +1,88 @@
+"""Tables 6.11/6.12 + Figure 6.5 — MobileNetV1 inference comparison.
+
+Paper anchors: base 0.21/0.17 FPS (MX/SX), A10 does not fit; optimized
+17.7/30.3/18.0 FPS, a 84x-184x speedup; S10SX is 1.40x TF-CPU, 1.94x
+TVM-1T, and 0.69x the GTX 1060.
+"""
+
+import pytest
+from conftest import fmt_table, save_table
+
+from repro.device import ALL_BOARDS, ARRIA10, STRATIX10_MX, STRATIX10_SX
+from repro.errors import FitError, RoutingError
+from repro.flow import deploy_folded
+from repro.perf import tf_cpu_fps, tf_cudnn_fps, tvm_cpu_fps, tvm_sweep
+
+PAPER_OPT = {"S10MX": 17.7, "S10SX": 30.3, "A10": 18.0}
+
+
+def _measure():
+    out = {}
+    for board in ALL_BOARDS:
+        row = {}
+        try:
+            row["base_fps"] = deploy_folded(
+                "mobilenet_v1", board, naive=True
+            ).fps()
+        except (FitError, RoutingError):
+            row["base_fps"] = None  # does not synthesize
+        d = deploy_folded("mobilenet_v1", board)
+        row["fps"] = d.fps()
+        row["gflops"] = d.gflops()
+        row["area"] = d.area()
+        out[board.name] = row
+    return out
+
+
+def test_tab6_11_mobilenet_inference(benchmark):
+    fpga = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    cpu = tf_cpu_fps("mobilenet_v1")
+    tvm1 = tvm_cpu_fps("mobilenet_v1", 1)
+    gpu = tf_cudnn_fps("mobilenet_v1")
+
+    rows = []
+    for bname, m in fpga.items():
+        base = "no fit" if m["base_fps"] is None else f"{m['base_fps']:.3f}"
+        speedup = (
+            "-" if m["base_fps"] is None else f"{m['fps'] / m['base_fps']:.0f}x"
+        )
+        rows.append(
+            [bname, base, f"{m['fps']:.1f}", f"{PAPER_OPT[bname]}", speedup,
+             f"{m['gflops']:.1f}", f"{m['fps'] / cpu:.2f}x",
+             f"{m['fps'] / tvm1:.2f}x", f"{m['fps'] / gpu:.2f}x"]
+        )
+    text = fmt_table(
+        f"Tables 6.11/6.12 - MobileNetV1 inference (TF-CPU {cpu}, TVM-1T "
+        f"{tvm1}, TF-cuDNN {gpu} FPS; paper speedups 84x/184x)",
+        ["board", "base", "opt FPS", "paper", "speedup", "GFLOPS",
+         "vs TF-CPU", "vs TVM-1T", "vs GPU"],
+        rows,
+    )
+    sweep = tvm_sweep("mobilenet_v1")
+    sweep_text = fmt_table(
+        "Figure 6.5 series - TVM-nT thread sweep (FPS)",
+        ["threads"] + [str(t) for t in sweep],
+        [["fps"] + [f"{v:.1f}" for v in sweep.values()]],
+    )
+    save_table("tab6_11_mobilenet_inference", text + "\n\n" + sweep_text)
+
+    # the naive one-kernel-per-layer design does not fit the Arria 10
+    assert fpga["A10"]["base_fps"] is None
+    # ...but the parameterized deployment does (the thesis's key result)
+    assert fpga["A10"]["fps"] > 5
+    # optimization speedup is 2-4 orders of magnitude (paper 84x-184x)
+    for bname in ("S10MX", "S10SX"):
+        speedup = fpga[bname]["fps"] / fpga[bname]["base_fps"]
+        assert 50 < speedup < 5000, bname
+    # S10SX beats TF-CPU (paper 1.40x) and TVM-1T (paper 1.94x)...
+    assert fpga["S10SX"]["fps"] > cpu
+    assert fpga["S10SX"]["fps"] > tvm1
+    # ...but loses to the GPU (paper 0.69x) and many-thread TVM
+    assert fpga["S10SX"]["fps"] < gpu
+    assert fpga["S10SX"]["fps"] < tvm_cpu_fps("mobilenet_v1", 56)
+    # platform ordering: SX fastest, MX and A10 comparable (paper 17.7/18.0)
+    assert fpga["S10SX"]["fps"] > fpga["A10"]["fps"]
+    assert 0.4 < fpga["S10MX"]["fps"] / fpga["A10"]["fps"] < 2.5
+    # measured FPS within 3x of the paper
+    for bname, m in fpga.items():
+        assert 0.33 < m["fps"] / PAPER_OPT[bname] < 3.0, bname

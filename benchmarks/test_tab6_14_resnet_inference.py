@@ -1,0 +1,130 @@
+"""Tables 6.13-6.16 + Figures 6.6/6.7 — ResNet-18/34 inference.
+
+Paper anchors: base 6.8e-3/8.3e-3 FPS (RN18 MX/SX), 3.2e-3/4.0e-3 (RN34);
+optimized 4.1/7.04 (RN18) and 2.6/4.6 (RN34) — speedups of 600x-1150x.
+Neither base nor optimized ResNet fits the Arria 10 (insufficient BRAM).
+The FPGA loses to 56-thread CPU and the GPU; 3x3 S=1 convolutions
+dominate FLOPs (82-91%) and runtime (33-72%).
+"""
+
+import pytest
+from conftest import fmt_table, save_table
+
+from repro.device import ARRIA10, STRATIX10_MX, STRATIX10_SX
+from repro.errors import FitError, RoutingError
+from repro.flow import deploy_folded
+from repro.perf import tf_cpu_fps, tf_cudnn_fps, tvm_cpu_fps, tvm_sweep
+
+PAPER_OPT = {("resnet18", "S10MX"): 4.1, ("resnet18", "S10SX"): 7.04,
+             ("resnet34", "S10MX"): 2.6, ("resnet34", "S10SX"): 4.6}
+
+
+def _measure():
+    out = {}
+    for net in ("resnet18", "resnet34"):
+        for board in (STRATIX10_MX, STRATIX10_SX):
+            try:
+                base = deploy_folded(net, board, naive=True).fps()
+            except (FitError, RoutingError):
+                base = None
+            d = deploy_folded(net, board)
+            out[(net, board.name)] = {
+                "base": base,
+                "fps": d.fps(),
+                "gflops": d.gflops(),
+                "per_op": d.per_op(),
+            }
+    return out
+
+
+def test_tab6_14_resnet_inference(benchmark):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for (net, bname), m in data.items():
+        cpu = tf_cpu_fps(net)
+        gpu = tf_cudnn_fps(net)
+        base = "no fit" if m["base"] is None else f"{m['base']:.4f}"
+        speedup = "-" if m["base"] is None else f"{m['fps'] / m['base']:.0f}x"
+        rows.append(
+            [net, bname, base, f"{m['fps']:.2f}",
+             f"{PAPER_OPT[(net, bname)]}", speedup, f"{m['gflops']:.1f}",
+             f"{m['fps'] / cpu:.2f}x", f"{m['fps'] / gpu:.2f}x"]
+        )
+    text = fmt_table(
+        "Tables 6.14/6.15 - ResNet inference (paper speedups 600x-1150x; "
+        "FPGA at 0.24x-0.43x of TF-CPU)",
+        ["net", "board", "base", "opt FPS", "paper", "speedup", "GFLOPS",
+         "vs TF-CPU", "vs GPU"],
+        rows,
+    )
+
+    op_rows = []
+    for (net, bname), m in data.items():
+        for label, r in sorted(m["per_op"].items(), key=lambda kv: -kv[1]["time_us"]):
+            if r["time_share"] < 0.01:
+                continue
+            op_rows.append(
+                [net, bname, label, f"{r['gflops']:.2f}",
+                 f"{100 * r['time_share']:.1f}%"]
+            )
+    op_text = fmt_table(
+        "Table 6.16 - per-op GFLOPS / runtime share (ops >1% runtime)",
+        ["net", "board", "op", "GFLOPS", "time share"],
+        op_rows,
+    )
+    sweeps = []
+    for net in ("resnet18", "resnet34"):
+        sw = tvm_sweep(net)
+        sweeps.append([net] + [f"{v:.1f}" for v in sw.values()])
+    sweep_text = fmt_table(
+        "Figures 6.6/6.7 series - TVM-nT sweeps (threads 1/2/4/8/16/32/56)",
+        ["net", "1", "2", "4", "8", "16", "32", "56"],
+        sweeps,
+    )
+    save_table("tab6_14_resnet_inference", "\n\n".join([text, op_text, sweep_text]))
+
+    for (net, bname), m in data.items():
+        cpu = tf_cpu_fps(net)
+        gpu = tf_cudnn_fps(net)
+        # FPGA loses to TF-CPU(112T) and the GPU, as in the paper
+        assert m["fps"] < cpu, (net, bname)
+        assert m["fps"] < gpu, (net, bname)
+        # large speedup over naive where naive synthesizes (the paper
+        # measures 600x-1150x; our naive model credits the baseline with
+        # the Quartus auto FxF unroll, so the gap is smaller — see
+        # EXPERIMENTS.md)
+        if m["base"] is not None:
+            assert m["fps"] / m["base"] > 30, (net, bname)
+        # measured within 3x of the paper's optimized FPS
+        assert 0.3 < m["fps"] / PAPER_OPT[(net, bname)] < 3.0, (net, bname)
+        # 3x3 S=1 convs dominate runtime among compute ops (Table 6.16)
+        shares = m["per_op"]
+        conv_share = shares["3x3 conv S=1"]["time_share"]
+        assert conv_share > 0.25, (net, bname)
+    # S10SX beats S10MX on both nets (paper: 7.04 vs 4.1; 4.6 vs 2.6)
+    assert data[("resnet18", "S10SX")]["fps"] > data[("resnet18", "S10MX")]["fps"]
+    assert data[("resnet34", "S10SX")]["fps"] > data[("resnet34", "S10MX")]["fps"]
+
+
+def test_resnet_does_not_fit_a10(benchmark):
+    def attempt():
+        failures = {}
+        for naive in (True, False):
+            try:
+                deploy_folded("resnet18", ARRIA10, naive=naive)
+                failures[naive] = None
+            except (FitError, RoutingError) as e:
+                failures[naive] = type(e).__name__
+        return failures
+
+    failures = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    text = fmt_table(
+        "ResNet-18 on Arria 10 (paper: does not synthesize, base or optimized)",
+        ["variant", "outcome"],
+        [["base", failures[True] or "FITS (mismatch!)"],
+         ["optimized", failures[False] or "FITS (mismatch!)"]],
+    )
+    save_table("resnet_a10_fit", text)
+    assert failures[True] is not None
+    assert failures[False] is not None

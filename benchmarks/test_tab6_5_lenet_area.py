@@ -1,0 +1,76 @@
+"""Table 6.5 — area usage and fmax for each LeNet bitstream.
+
+Paper trends this bench must reproduce: unrolling raises logic/RAM/DSP;
+channels *reduce* RAM (activation caches replaced by register FIFOs) and
+can raise fmax; autorun changes neither; naive bitstreams close timing
+worse than optimized ones.
+"""
+
+from conftest import fmt_table, save_table
+
+from repro.aoc import area_row, compile_program
+from repro.device import ALL_BOARDS
+from repro.flow import LEVELS, build_pipelined
+from repro.models import lenet5
+from repro.relay import fuse_operators
+
+
+def _areas():
+    fused = fuse_operators(lenet5())
+    out = {}
+    for level in LEVELS:
+        for board in ALL_BOARDS:
+            prog, plan = build_pipelined(fused, level, board)
+            bs = compile_program(prog, board)
+            out[(level, board.name)] = area_row(bs)
+    return out
+
+
+PAPER_ROWS = {
+    # (level, board): (logic%, ram%, dsp%, fmax)
+    ("base", "S10MX"): (32, 21, 3, 250),
+    ("base", "S10SX"): (32, 21, 3, 209),
+    ("base", "A10"): (39, 81, 8, 201),
+    ("tvm_autorun", "S10MX"): (36, 26, 4, 300),
+    ("tvm_autorun", "S10SX"): (25, 19, 5, 218),
+    ("tvm_autorun", "A10"): (36, 37, 14, 217),
+}
+
+
+def test_tab6_5_lenet_area(benchmark):
+    areas = benchmark.pedantic(_areas, rounds=1, iterations=1)
+
+    rows = []
+    for (level, board), r in areas.items():
+        paper = PAPER_ROWS.get((level, board))
+        note = (
+            f"paper: {paper[0]}%/{paper[1]}%/{paper[2]}%/{paper[3]}MHz"
+            if paper
+            else ""
+        )
+        rows.append(
+            [level, board, f"{r['logic_pct']}%", f"{r['ram_pct']}%",
+             f"{r['dsp_pct']}%", f"{r['fmax_mhz']}MHz", note]
+        )
+    text = fmt_table(
+        "Table 6.5 - LeNet bitstream area and fmax",
+        ["bitstream", "board", "logic", "RAM", "DSP", "fmax", "reference"],
+        rows,
+    )
+    save_table("tab6_5_lenet_area", text)
+
+    for board in ALL_BOARDS:
+        b = board.name
+        # unrolling increases DSP usage over base
+        assert areas[("unroll", b)]["dsp_pct"] >= areas[("base", b)]["dsp_pct"]
+        # channels reduce RAM (activation LSU caches disappear)
+        assert areas[("channels", b)]["ram_pct"] < areas[("unroll", b)]["ram_pct"]
+        # autorun is area-neutral vs channels
+        assert (
+            abs(areas[("autorun", b)]["ram_pct"] - areas[("channels", b)]["ram_pct"])
+            <= 2
+        )
+        # optimized designs close timing no worse than naive ones
+        assert areas[("tvm_autorun", b)]["fmax_mhz"] >= areas[("base", b)]["fmax_mhz"]
+    # the A10 baseline is the most RAM-pressured platform (paper: 81%)
+    assert areas[("base", "A10")]["ram_pct"] > areas[("base", "S10SX")]["ram_pct"]

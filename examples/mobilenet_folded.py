@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Folded MobileNetV1 deployment across all three FPGA platforms.
+
+Reproduces the Section 6.3.2 story: the naive one-kernel-per-layer design
+barely runs (and does not even fit the Arria 10), while parameterized,
+tiled kernels reach competitive throughput.  Prints the per-operation
+profile (Table 6.8) and an ASCII chart comparing platforms with the
+thesis's CPU/GPU baselines (Figure 6.5).
+
+Run:  python examples/mobilenet_folded.py
+"""
+
+from repro.device import ALL_BOARDS
+from repro.errors import FitError, RoutingError
+from repro.flow import deploy_folded
+from repro.perf import tf_cpu_fps, tf_cudnn_fps, tvm_cpu_fps
+from repro.viz import bar_chart
+
+
+def main() -> None:
+    print("== MobileNetV1, folded execution (thesis Section 6.3.2) ==\n")
+
+    labels, values = [], []
+    for board in ALL_BOARDS:
+        try:
+            naive = f"{deploy_folded('mobilenet_v1', board, naive=True).fps():.2f}"
+        except (FitError, RoutingError) as e:
+            naive = "no fit"
+        d = deploy_folded("mobilenet_v1", board)
+        fps = d.fps()
+        labels.append(board.name)
+        values.append(fps)
+        u = d.area()
+        print(
+            f"{board.name:6s}: naive {naive:>7} FPS -> optimized {fps:6.1f} FPS"
+            f"   (logic {u['logic']:.0%}, BRAM {u['ram']:.0%}, "
+            f"DSP {u['dsp']:.0%}, fmax {d.bitstream.fmax_mhz:.0f} MHz)"
+        )
+
+    d = deploy_folded("mobilenet_v1", ALL_BOARDS[1])  # S10SX
+    print("\nper-operation profile on the S10SX (Table 6.8):")
+    for label, row in sorted(d.per_op().items(), key=lambda kv: -kv[1]["time_us"]):
+        print(
+            f"  {label:18s} {row['time_us'] / 1e3:7.2f} ms "
+            f"({row['time_share']:5.1%})  {row['gflops']:6.1f} GFLOPS"
+        )
+
+    labels += ["TF-CPU 112T", "TVM 56T", "GTX 1060"]
+    values += [
+        tf_cpu_fps("mobilenet_v1"),
+        tvm_cpu_fps("mobilenet_v1", 56),
+        tf_cudnn_fps("mobilenet_v1"),
+    ]
+    print()
+    print(bar_chart("MobileNetV1 inference (FPS) — Figure 6.5", labels, values,
+                    fmt="{:.1f}"))
+
+
+if __name__ == "__main__":
+    main()

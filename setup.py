@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `pip install -e .` work without the wheel package
+(this environment is offline; pip falls back to setup.py develop)."""
+from setuptools import setup
+
+setup()

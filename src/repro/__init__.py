@@ -1,0 +1,25 @@
+"""repro: reproduction of "Optimization of Compiler-Generated OpenCL CNN
+Kernels and Runtime for FPGAs" (Seung-Hun Chung, University of Toronto,
+2021).
+
+The package implements the thesis's whole system in simulation: a mini
+tensor compiler (ir/relay/schedule/topi/codegen), an Intel-AOC offline-
+compiler model (aoc), FPGA board models (device), an OpenCL host-runtime
+simulator (runtime), the end-to-end deployment flow (flow), CNN model
+definitions (models) and calibrated CPU/GPU baselines (perf).
+
+Quickstart::
+
+    from repro.flow import deploy_pipelined
+    from repro.device import STRATIX10_SX
+
+    d = deploy_pipelined("lenet5", STRATIX10_SX, level="tvm_autorun")
+    print(d.fps(), d.area())
+"""
+
+__version__ = "1.0.0"
+
+from repro import device, errors
+from repro.flow import deploy_folded, deploy_pipelined
+
+__all__ = ["deploy_folded", "deploy_pipelined", "device", "errors", "__version__"]

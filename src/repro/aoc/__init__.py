@@ -1,0 +1,15 @@
+"""The Intel-AOC offline-compiler model: analysis, resources, fmax, fit."""
+
+from repro.aoc.analysis import AccessSite, KernelAnalysis, LSU
+from repro.aoc.compiler import Bitstream, HwKernel, compile_program
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.aoc.fmax import TimingReport, congestion_metric, timing
+from repro.aoc.resources import ResourceEstimate, estimate_kernel
+from repro.aoc.report import area_row, format_area_table
+
+__all__ = [
+    "AOCConstants", "AccessSite", "Bitstream", "DEFAULT_CONSTANTS",
+    "HwKernel", "KernelAnalysis", "LSU", "ResourceEstimate", "TimingReport",
+    "area_row", "compile_program", "congestion_metric", "estimate_kernel",
+    "format_area_table", "timing",
+]

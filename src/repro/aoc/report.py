@@ -1,0 +1,33 @@
+"""Fitter-report style formatting (the thesis's area tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.aoc.compiler import Bitstream
+
+
+def area_row(bs: Bitstream) -> Dict[str, object]:
+    """One row of a Table 6.5-style area report."""
+    u = bs.utilization()
+    return {
+        "board": bs.board.name,
+        "logic_pct": round(100 * u["logic"]),
+        "ram_pct": round(100 * u["ram"]),
+        "dsp_pct": round(100 * u["dsp"]),
+        "dsps": bs.total.dsps,
+        "fmax_mhz": round(bs.fmax_mhz),
+    }
+
+
+def format_area_table(rows: Sequence[Dict[str, object]], title: str) -> str:
+    """Render area rows as an aligned text table."""
+    header = f"{'design':<22} {'board':<7} {'Logic':>6} {'RAM':>6} {'DSP':>6} {'fmax':>6}"
+    lines = [title, header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{str(r.get('design', '')):<22} {str(r['board']):<7} "
+            f"{r['logic_pct']:>5}% {r['ram_pct']:>5}% {r['dsp_pct']:>5}% "
+            f"{r['fmax_mhz']:>4}MHz"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Resource estimation: ALUTs, FFs, M20K RAM blocks and DSPs per kernel.
+
+The cost model follows the thesis's causal account (Sections 2.4.2/2.4.3,
+4.1, 6.5): LSUs — especially cached and non-aligned burst-coalesced ones —
+dominate logic and BRAM; unrolling replicates DSPs and datapath glue;
+local buffers consume BRAM replicated for concurrent write ports; loop
+control adds fixed logic per loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.aoc.analysis import KernelAnalysis
+from repro.aoc.constants import AOCConstants
+from repro.ir.analysis import eval_int
+from repro.ir import expr as _e
+
+
+@dataclass
+class ResourceEstimate:
+    """Estimated resource usage of one kernel (or a whole design)."""
+
+    aluts: int = 0
+    ffs: int = 0
+    rams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            self.aluts + other.aluts,
+            self.ffs + other.ffs,
+            self.rams + other.rams,
+            self.dsps + other.dsps,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Resources(aluts={self.aluts}, ffs={self.ffs}, "
+            f"rams={self.rams}, dsps={self.dsps})"
+        )
+
+
+def _local_buffer_rams(analysis: KernelAnalysis, c: AOCConstants) -> int:
+    """M20K blocks for local/register buffers, with port replication."""
+    rams = 0
+    for buf in analysis.kernel.local_buffers():
+        n = 1
+        symbolic = False
+        for d in buf.shape:
+            if isinstance(d, int):
+                n *= d
+            else:
+                v = eval_int(d, {})
+                if v is None:
+                    symbolic = True
+                    break
+                n *= v
+        if symbolic:
+            # compiler must size for the worst case it cannot know; it
+            # allocates a fixed conservative buffer
+            n = 16 * 1024
+        bits = n * 32
+        if buf.scope == "register" and n <= 64:
+            continue  # small arrays land in FFs, not BRAM
+        # concurrent unrolled writers force replication/banking
+        writers = 1
+        for site in analysis.sites:
+            if site.buffer.name != buf.name or not site.is_store:
+                continue
+            w = 1
+            for _, extent in site.unrolled:
+                w *= extent
+            writers = max(writers, w)
+        replication = max(1, math.ceil(writers / c.bram_write_ports))
+        rams += max(1, math.ceil(bits / c.bram_block_bits)) * replication
+    return rams
+
+
+def estimate_kernel(analysis: KernelAnalysis, c: AOCConstants) -> ResourceEstimate:
+    """Estimate one kernel's post-fit resource usage."""
+    aluts = c.alut_kernel_base
+    aluts += analysis.loop_count * c.alut_per_loop
+    rams = _local_buffer_rams(analysis, c)
+    for lsu in analysis.lsus:
+        cost = c.alut_per_lsu + c.alut_per_replica * (lsu.replicas - 1)
+        cost += c.alut_per_width_elem * lsu.width_elems
+        if not lsu.aligned:
+            cost = int(cost * c.nonaligned_lsu_factor)
+        aluts += cost
+        per_replica_brams = (
+            c.bram_per_nonaligned_replica if not lsu.aligned else c.bram_per_lsu
+        )
+        rams += per_replica_brams * lsu.replicas
+        # widened LSUs buffer a burst of their width
+        rams += math.ceil(lsu.width_bits * 16 / c.bram_block_bits)
+        if lsu.cached:
+            rams += c.bram_per_cached_lsu
+    dsps = analysis.dsp_count() + c.dsp_kernel_base
+    aluts += dsps * 2 * c.alut_per_unrolled_op
+    aluts += analysis.channel_ops * c.alut_per_channel
+    ffs = int(aluts * c.ff_per_alut)
+    return ResourceEstimate(aluts=aluts, ffs=ffs, rams=rams, dsps=dsps)
+
+
+def channel_rams(depth_elems: int, c: AOCConstants) -> int:
+    """M20K blocks for one buffered channel FIFO."""
+    if depth_elems <= 16:
+        return 0  # register FIFO
+    return max(1, math.ceil(depth_elems * 32 / c.bram_block_bits))

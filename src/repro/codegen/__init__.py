@@ -1,0 +1,5 @@
+"""OpenCL-C code generation (the .cl emission stage of the flow)."""
+
+from repro.codegen.opencl import OpenCLCodegen, generate_opencl
+
+__all__ = ["OpenCLCodegen", "generate_opencl"]

@@ -1,0 +1,113 @@
+"""Synthetic input generators for the evaluation workloads.
+
+The thesis tests LeNet on MNIST's 10000-image test set and feeds
+MobileNet/ResNet randomly generated ImageNet-sized inputs ("input values
+do not alter computation time").  MNIST itself is not available offline,
+so :func:`synthetic_digits` draws procedural 28x28 digit glyphs —
+deterministic, label-consistent stroke renderings with jitter and noise —
+that exercise the same code path; classification *consistency* between
+deployments replaces accuracy (the untrained reproduction networks have
+no meaningful accuracy anyway).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: 7-segment style segment masks per digit (a, b, c, d, e, f, g)
+_SEGMENTS = {
+    0: "abcdef",
+    1: "bc",
+    2: "abged",
+    3: "abgcd",
+    4: "fgbc",
+    5: "afgcd",
+    6: "afgedc",
+    7: "abc",
+    8: "abcdefg",
+    9: "abcfgd",
+}
+
+#: segment endpoints on a unit glyph box (x0, y0, x1, y1)
+_SEGMENT_LINES = {
+    "a": (0.2, 0.15, 0.8, 0.15),  # top
+    "b": (0.8, 0.15, 0.8, 0.5),  # top right
+    "c": (0.8, 0.5, 0.8, 0.85),  # bottom right
+    "d": (0.2, 0.85, 0.8, 0.85),  # bottom
+    "e": (0.2, 0.5, 0.2, 0.85),  # bottom left
+    "f": (0.2, 0.15, 0.2, 0.5),  # top left
+    "g": (0.2, 0.5, 0.8, 0.5),  # middle
+}
+
+
+def _draw_line(img: np.ndarray, x0: float, y0: float, x1: float, y1: float,
+               thickness: float) -> None:
+    """Rasterize a soft line segment onto a float image in place."""
+    h, w = img.shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    px = (xs + 0.5) / w
+    py = (ys + 0.5) / h
+    # distance from each pixel to the segment
+    dx, dy = x1 - x0, y1 - y0
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 == 0:
+        t = np.zeros_like(px)
+    else:
+        t = np.clip(((px - x0) * dx + (py - y0) * dy) / seg_len2, 0.0, 1.0)
+    cx = x0 + t * dx
+    cy = y0 + t * dy
+    dist = np.sqrt((px - cx) ** 2 + (py - cy) ** 2)
+    stroke = np.clip(1.0 - dist / thickness, 0.0, 1.0)
+    np.maximum(img, stroke, out=img)
+
+
+def render_digit(
+    digit: int,
+    rng: np.random.Generator,
+    size: int = 28,
+    jitter: float = 0.03,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Render one synthetic digit glyph as a (1, size, size) CHW tensor."""
+    if not 0 <= digit <= 9:
+        raise ReproError(f"digit must be 0-9, got {digit}")
+    img = np.zeros((size, size), np.float32)
+    shift_x = rng.uniform(-jitter, jitter)
+    shift_y = rng.uniform(-jitter, jitter)
+    scale = rng.uniform(0.9, 1.1)
+    thickness = rng.uniform(0.06, 0.09)
+    for seg in _SEGMENTS[digit]:
+        x0, y0, x1, y1 = _SEGMENT_LINES[seg]
+
+        def tf(x, y):
+            return (
+                0.5 + (x - 0.5) * scale + shift_x,
+                0.5 + (y - 0.5) * scale + shift_y,
+            )
+
+        (x0, y0), (x1, y1) = tf(x0, y0), tf(x1, y1)
+        _draw_line(img, x0, y0, x1, y1, thickness)
+    img += rng.normal(0, noise, img.shape).astype(np.float32)
+    img = np.clip(img, 0.0, 1.0)
+    return img[None, :, :].astype(np.float32)
+
+
+def synthetic_digits(
+    n: int, seed: int = 0, size: int = 28
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A batch of synthetic digits: (images (n,1,size,size), labels (n,))."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 10, n)
+    images = np.stack([render_digit(int(d), rng, size) for d in labels])
+    return images.astype(np.float32), labels.astype(np.int64)
+
+
+def imagenet_like(n: int, seed: int = 0, size: int = 224) -> np.ndarray:
+    """Random ImageNet-sized CHW inputs, as the thesis uses for the large
+    networks (values do not alter computation time)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 3, size, size)).astype(np.float32)

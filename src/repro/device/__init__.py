@@ -1,0 +1,10 @@
+"""FPGA board descriptors and host-transfer models."""
+
+from repro.device.boards import ALL_BOARDS, ARRIA10, Board, STRATIX10_MX, STRATIX10_SX, board_by_name
+from repro.device.transfer import d2h_time_us, effective_d2h_gbs, effective_h2d_gbs, h2d_time_us
+
+__all__ = [
+    "ALL_BOARDS", "ARRIA10", "Board", "STRATIX10_MX", "STRATIX10_SX",
+    "board_by_name", "d2h_time_us", "effective_d2h_gbs", "effective_h2d_gbs",
+    "h2d_time_us",
+]

@@ -1,0 +1,149 @@
+"""FPGA board descriptors (thesis Tables 6.1 and 6.2).
+
+Resource counts, static-partition overheads, external-memory bandwidths
+and PCIe generations are the thesis's real values.  ``base_fmax_mhz`` is
+the model's pre-degradation clock per family (calibrated so the fitted
+designs land near the thesis's reported fmax values); the Stratix 10 MX
+engineering sample carries its pathological host-write bandwidth
+(Section 6.3.1, Appendix A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Board:
+    """One FPGA platform."""
+
+    name: str
+    family: str
+    #: total resources (Table 6.2)
+    aluts: int
+    ffs: int
+    rams: int  # M20K blocks
+    dsps: int
+    #: static partition usage (Table 6.2)
+    static_aluts: int
+    static_ffs: int
+    static_rams: int
+    #: theoretical peak external-memory bandwidth, GB/s (Table 6.1);
+    #: the S10MX figure is one HBM pseudo-channel — the only one the
+    #: thesis's BSP could use
+    peak_bw_gbs: float
+    #: PCIe host link: effective host->device / device->host GB/s
+    h2d_gbs: float
+    d2h_gbs: float
+    #: per-transfer fixed latency, microseconds
+    transfer_latency_us: float
+    #: model's base clock before congestion degradation, MHz
+    base_fmax_mhz: float
+    #: Quartus >= 19.1 no longer auto-unrolls small-trip-count loops
+    #: (thesis footnote 4: the S10MX baseline lacks the free FxF unroll)
+    auto_unroll_small_loops: bool
+    #: host-side cost to enqueue one kernel on this platform's CPU, us
+    enqueue_overhead_us: float = 28.0
+    #: congestion level at which this board's router gives up (HyperFlex
+    #: fabrics are strict; the thesis's 7/16/8 tiling fails on the S10SX)
+    routing_threshold: float = 1.1
+    #: largest single-kernel spatial datapath (DSPs) the router can fan
+    #: out operands to; the empirical frontier of thesis Section 6.5
+    #: (896-MAC pointwise kernels route on the S10MX and A10 but not the
+    #: S10SX)
+    max_kernel_fanout: int = 1100
+
+    @property
+    def avail_aluts(self) -> int:
+        return self.aluts - self.static_aluts
+
+    @property
+    def avail_ffs(self) -> int:
+        return self.ffs - self.static_ffs
+
+    @property
+    def avail_rams(self) -> int:
+        return self.rams - self.static_rams
+
+    @property
+    def avail_dsps(self) -> int:
+        return self.dsps
+
+    def __str__(self) -> str:
+        return self.name
+
+
+ARRIA10 = Board(
+    name="A10",
+    family="Arria 10 GX",
+    aluts=740_500,
+    ffs=1_481_000,
+    rams=2_336,
+    dsps=1_518,
+    static_aluts=113_900,
+    static_ffs=227_800,
+    static_rams=377,
+    peak_bw_gbs=34.1,
+    h2d_gbs=3.0,  # PCIe gen3 x8 effective
+    d2h_gbs=3.0,
+    transfer_latency_us=12.0,
+    base_fmax_mhz=235.0,
+    auto_unroll_small_loops=True,  # Quartus 17.1.1
+    enqueue_overhead_us=52.0,  # older host platform (Xeon 8180 node)
+    routing_threshold=1.1,
+    max_kernel_fanout=1100,
+)
+
+STRATIX10_SX = Board(
+    name="S10SX",
+    family="Stratix 10 SX",
+    aluts=1_666_240,
+    ffs=3_457_330,
+    rams=11_254,
+    dsps=5_760,
+    static_aluts=200_000,
+    static_ffs=275_150,
+    static_rams=467,
+    peak_bw_gbs=76.8,
+    h2d_gbs=6.0,  # PCIe gen3 x16 effective
+    d2h_gbs=6.0,
+    transfer_latency_us=10.0,
+    base_fmax_mhz=238.0,
+    auto_unroll_small_loops=True,  # Quartus 18.1.2
+    enqueue_overhead_us=18.0,
+    routing_threshold=0.78,
+    max_kernel_fanout=800,
+)
+
+STRATIX10_MX = Board(
+    name="S10MX",
+    family="Stratix 10 MX HBM",
+    aluts=1_405_440,
+    ffs=2_810_880,
+    rams=6_847,
+    dsps=3_960,
+    static_aluts=13_132,
+    static_ffs=20_030,
+    static_rams=112,
+    peak_bw_gbs=12.8,  # one HBM pseudo-channel (BSP limitation)
+    # engineering-sample BSP: pathologically slow host writes (Fig 6.2 /
+    # Appendix A); reads are merely poor
+    h2d_gbs=0.12,
+    d2h_gbs=0.9,
+    transfer_latency_us=35.0,
+    base_fmax_mhz=320.0,
+    auto_unroll_small_loops=False,  # Quartus 19.1
+    enqueue_overhead_us=30.0,
+    routing_threshold=1.2,
+    max_kernel_fanout=1300,
+)
+
+ALL_BOARDS = (STRATIX10_MX, STRATIX10_SX, ARRIA10)
+
+
+def board_by_name(name: str) -> Board:
+    """Look up a board by its short name ('A10', 'S10SX', 'S10MX')."""
+    for b in ALL_BOARDS:
+        if b.name == name:
+            return b
+    raise KeyError(name)

@@ -1,0 +1,51 @@
+"""Host <-> device buffer transfer model (thesis Appendix A / Fig 6.2).
+
+Transfer time = fixed latency + size / effective bandwidth, with the
+effective bandwidth ramping with transfer size (small transfers are
+latency-bound; large transfers approach the PCIe link rate).  The
+Stratix 10 MX engineering sample's host->device writes are pathologically
+slow, which makes LeNet on that board transfer-bound.
+"""
+
+from __future__ import annotations
+
+from repro.device.boards import Board
+
+
+def _ramp(size_bytes: int, peak_gbs: float) -> float:
+    """Effective GB/s for a given transfer size (saturating ramp).
+
+    Bandwidth reaches half of peak at 64 KiB and saturates beyond ~1 MiB,
+    the familiar shape of PCIe transfer-rate curves.
+    """
+    half_point = 64 * 1024.0
+    frac = size_bytes / (size_bytes + half_point)
+    return max(peak_gbs * frac, 1e-6)
+
+
+def h2d_time_us(board: Board, size_bytes: int) -> float:
+    """Host-to-device (buffer write) time in microseconds."""
+    if size_bytes <= 0:
+        return 0.0
+    bw = _ramp(size_bytes, board.h2d_gbs)
+    return board.transfer_latency_us + size_bytes / (bw * 1e3)
+
+
+def d2h_time_us(board: Board, size_bytes: int) -> float:
+    """Device-to-host (buffer read) time in microseconds."""
+    if size_bytes <= 0:
+        return 0.0
+    bw = _ramp(size_bytes, board.d2h_gbs)
+    return board.transfer_latency_us + size_bytes / (bw * 1e3)
+
+
+def effective_h2d_gbs(board: Board, size_bytes: int) -> float:
+    """Achieved host->device bandwidth for a transfer (Appendix A rows)."""
+    t = h2d_time_us(board, size_bytes)
+    return size_bytes / (t * 1e3)
+
+
+def effective_d2h_gbs(board: Board, size_bytes: int) -> float:
+    """Achieved device->host bandwidth for a transfer (Appendix A rows)."""
+    t = d2h_time_us(board, size_bytes)
+    return size_bytes / (t * 1e3)

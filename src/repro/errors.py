@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro compiler stack.
+
+Every layer of the flow (IR construction, scheduling, code generation,
+offline compilation, runtime simulation) raises a subclass of
+:class:`ReproError` so callers can catch stack-specific failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad dtypes, out-of-scope variables, invalid nodes."""
+
+
+class ScheduleError(ReproError):
+    """Invalid schedule transformation (unknown axis, bad factor, ...)."""
+
+
+class LoweringError(ReproError):
+    """A schedule could not be lowered to statement IR."""
+
+
+class CodegenError(ReproError):
+    """The OpenCL code generator met an unsupported construct."""
+
+
+class AOCError(ReproError):
+    """Base class for offline-compiler (synthesis) failures."""
+
+
+class FitError(AOCError):
+    """The design exceeds the board's ALUT/FF/BRAM/DSP resources.
+
+    This is the error the thesis hits when mapping naive MobileNet/ResNet
+    bitstreams onto the Arria 10: the kernel system plus static partition
+    does not fit, so no bitstream is produced.
+    """
+
+
+class RoutingError(AOCError):
+    """Quartus routing failed due to congestion (Section 6.5 of the thesis)."""
+
+
+class RuntimeSimError(ReproError):
+    """Host-runtime simulation error (deadlocked channels, bad enqueue...)."""
+
+
+class UnsupportedError(ReproError):
+    """Feature intentionally out of scope for this reproduction."""

@@ -1,0 +1,28 @@
+"""End-to-end deployment flow: model -> kernels -> bitstream -> simulation."""
+
+from repro.flow.deploy import (
+    Deployment,
+    default_folded_config,
+    deploy_folded,
+    deploy_pipelined,
+    MOBILENET_1X1_TILINGS,
+)
+from repro.flow.folded import FoldedConfig, build_folded, op_label
+from repro.flow.pipelined import LEVELS, build_pipelined
+from repro.flow.autotune import TuneResult, autotune_folded
+from repro.flow.dse import (
+    DSEPoint,
+    bandwidth_roof_elems,
+    choose_tiling,
+    divides_all,
+    evaluate_tiling,
+    explore_conv1x1,
+)
+
+__all__ = [
+    "DSEPoint", "TuneResult", "autotune_folded", "Deployment", "FoldedConfig", "LEVELS",
+    "MOBILENET_1X1_TILINGS", "bandwidth_roof_elems", "build_folded",
+    "build_pipelined", "choose_tiling", "default_folded_config",
+    "deploy_folded", "deploy_pipelined", "divides_all", "evaluate_tiling",
+    "explore_conv1x1", "op_label",
+]

@@ -1,0 +1,142 @@
+"""Whole-network tiling auto-tuner (the DSE the thesis leaves to §8.1).
+
+``autotune_folded`` performs greedy coordinate ascent over the tiling
+configuration of *every* convolution group in a folded deployment: one
+group at a time, it tries enlarging (or shrinking) each tiling dimension
+by the divisibility-preserving candidates, keeps any change that improves
+modelled FPS while still fitting and routing, and stops at a fixed point.
+
+This is the "design space explorer [that] would benefit the performance
+of [the] work by maximizing overall network performance ... rather than
+the performance of individual layers" (thesis Section 4.11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aoc.compiler import compile_program
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.device.boards import Board
+from repro.errors import FitError, RoutingError
+from repro.flow.dse import divides_all
+from repro.flow.folded import FoldedConfig, build_folded
+from repro.relay.passes import FusedGraph
+from repro.runtime.simulate import simulate_folded
+from repro.topi import ConvTiling
+
+GroupId = Tuple[str, int, int]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one auto-tuning run."""
+
+    config: FoldedConfig
+    fps: float
+    evaluations: int
+    history: List[Tuple[GroupId, ConvTiling, float]] = field(default_factory=list)
+
+
+def _group_extents(fused: FusedGraph) -> Dict[GroupId, Dict[str, List[int]]]:
+    """Per conv group, the extents each tiling dimension must divide."""
+    out: Dict[GroupId, Dict[str, List[int]]] = {}
+    for fn in fused:
+        if fn.op == "conv2d":
+            a = fn.anchor.attrs
+            gid: GroupId = ("conv", a["field"], a["stride"])
+            c1 = fn.anchor.inputs[0].out_shape[0]
+            k, _, wo = fn.anchor.out_shape
+        elif fn.op == "depthwise_conv2d":
+            a = fn.anchor.attrs
+            gid = ("dw", a["field"], a["stride"])
+            c1 = fn.anchor.inputs[0].out_shape[0]
+            k, _, wo = fn.anchor.out_shape
+        else:
+            continue
+        entry = out.setdefault(gid, {"w2": [], "c2": [], "c1": []})
+        entry["w2"].append(wo)
+        entry["c2"].append(k)
+        entry["c1"].append(c1)
+    return out
+
+
+def _candidates(extents: Sequence[int], cap: int = 32) -> List[int]:
+    """Divisibility-preserving factors for one tiling dimension."""
+    return [f for f in (1, 2, 4, 7, 8, 14, 16, 32) if f <= cap and divides_all(f, extents)]
+
+
+def _evaluate(
+    fused: FusedGraph,
+    board: Board,
+    config: FoldedConfig,
+    constants: AOCConstants,
+) -> Optional[float]:
+    program, plan = build_folded(fused, config, board)
+    try:
+        bs = compile_program(program, board, constants)
+    except (FitError, RoutingError):
+        return None
+    return simulate_folded(bs, plan).fps
+
+
+def autotune_folded(
+    fused: FusedGraph,
+    board: Board,
+    start: Optional[FoldedConfig] = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    max_rounds: int = 4,
+) -> TuneResult:
+    """Greedy coordinate-ascent tiling search over all conv groups."""
+    config = start or FoldedConfig()
+    config = FoldedConfig(
+        conv_tilings=dict(config.conv_tilings),
+        dense_unroll=config.dense_unroll,
+        pin_unit_stride=config.pin_unit_stride,
+    )
+    extents = _group_extents(fused)
+    evaluations = 0
+    history: List[Tuple[GroupId, ConvTiling, float]] = []
+
+    best = _evaluate(fused, board, config, constants)
+    evaluations += 1
+    if best is None:
+        raise FitError("starting configuration does not fit/route")
+
+    for _ in range(max_rounds):
+        improved = False
+        for gid, ext in extents.items():
+            kind, f, s = gid
+            current = config.conv_tilings.get(gid, ConvTiling())
+            dims = {
+                "w2vec": _candidates(ext["w2"], cap=16),
+                "c1vec": _candidates(ext["c1"]),
+            }
+            if kind == "conv" and f == 1:
+                dims["c2vec"] = _candidates(ext["c2"])
+            for dim, options in dims.items():
+                for value in options:
+                    if value == getattr(current, dim):
+                        continue
+                    trial = ConvTiling(
+                        w2vec=value if dim == "w2vec" else current.w2vec,
+                        c2vec=value if dim == "c2vec" else current.c2vec,
+                        c1vec=value if dim == "c1vec" else current.c1vec,
+                        unroll_ff=current.unroll_ff,
+                    )
+                    config.conv_tilings[gid] = trial
+                    fps = _evaluate(fused, board, config, constants)
+                    evaluations += 1
+                    if fps is not None and fps > best * 1.001:
+                        best = fps
+                        current = trial
+                        history.append((gid, trial, fps))
+                        improved = True
+                    else:
+                        config.conv_tilings[gid] = current
+        if not improved:
+            break
+
+    return TuneResult(config=config, fps=best, evaluations=evaluations,
+                      history=history)

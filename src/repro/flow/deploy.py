@@ -1,0 +1,213 @@
+"""High-level deployment API: model -> bitstream -> simulated inference.
+
+This is the user-facing entry point of the reproduction, tying together
+the whole flow of thesis Figure 3.1: graph import + fusion (relay),
+schedule + lowering (topi/schedule), OpenCL emission (codegen), offline
+compilation (aoc) and host-runtime simulation (runtime).  Functional
+correctness is provided by the NumPy executor: a :class:`Deployment` can
+actually classify images, and its numbers are what the benchmark suite
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.aoc.compiler import Bitstream, compile_program
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.codegen import generate_opencl
+from repro.device.boards import Board
+from repro.errors import ReproError
+from repro.flow.folded import FoldedConfig, build_folded
+from repro.flow.pipelined import LEVELS, build_pipelined
+from repro.models import alexnet, lenet5, mobilenet_v1, resnet, resnet18, resnet34, resnet50
+from repro.relay import FusedGraph, fuse_operators, init_params, run_fused_graph
+from repro.relay.graph import Graph
+from repro.runtime.plan import FoldedPlan, PipelinePlan
+from repro.runtime.simulate import (
+    RunResult,
+    per_op_profile,
+    simulate_folded,
+    simulate_pipelined,
+)
+from repro.topi import ConvTiling
+
+_MODELS = {
+    "lenet5": lenet5,
+    "mobilenet_v1": mobilenet_v1,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    # published conv-BN-activation variants (bias-free convolutions)
+    "mobilenet_v1_bn": lambda: mobilenet_v1(batchnorm=True),
+    "resnet18_bn": lambda: resnet(18, batchnorm=True),
+    "resnet34_bn": lambda: resnet(34, batchnorm=True),
+    # extensions beyond the thesis: the §6.6 comparison networks
+    "resnet50": resnet50,
+    "alexnet": alexnet,
+}
+
+#: thesis Table 6.7 — per-board 1x1-conv tiling for MobileNetV1
+MOBILENET_1X1_TILINGS: Dict[str, ConvTiling] = {
+    "S10MX": ConvTiling(w2vec=7, c2vec=32, c1vec=4),
+    "S10SX": ConvTiling(w2vec=7, c2vec=16, c1vec=4),
+    "A10": ConvTiling(w2vec=7, c2vec=8, c1vec=8),
+}
+
+
+def default_folded_config(network: str, board: Board, naive: bool = False) -> FoldedConfig:
+    """Thesis Tables 6.7/6.13 tiling configurations."""
+    network = network.removesuffix("_bn")
+    if naive:
+        return FoldedConfig(naive=True)
+    if network == "mobilenet_v1":
+        return FoldedConfig(
+            conv_tilings={
+                ("conv", 1, 1): MOBILENET_1X1_TILINGS[board.name],
+                ("conv", 3, 2): ConvTiling(c1vec=3),
+                ("dw", 3, 1): ConvTiling(w2vec=7),
+                ("dw", 3, 2): ConvTiling(w2vec=7),
+            },
+            dense_unroll=32,
+        )
+    if network in ("resnet18", "resnet34"):
+        return FoldedConfig(
+            conv_tilings={
+                ("conv", 7, 2): ConvTiling(),
+                ("conv", 3, 1): ConvTiling(w2vec=7, c1vec=8),
+                ("conv", 3, 2): ConvTiling(w2vec=7, c1vec=8),
+                ("conv", 1, 1): ConvTiling(c1vec=8),
+                ("conv", 1, 2): ConvTiling(c1vec=8),
+            },
+            dense_unroll=32,
+        )
+    if network == "alexnet":
+        # extension: the Section 6.6 comparison network deployed directly
+        return FoldedConfig(
+            conv_tilings={
+                ("conv", 11, 4): ConvTiling(),
+                ("conv", 5, 1): ConvTiling(c1vec=8),
+                ("conv", 3, 1): ConvTiling(w2vec=13, c1vec=4),
+            },
+            dense_unroll=32,
+        )
+    if network == "resnet50":
+        # extension: bottleneck blocks are pointwise-dominated, so the
+        # 1x1 kernels get MobileNet-style multi-dimensional tiling
+        return FoldedConfig(
+            conv_tilings={
+                ("conv", 7, 2): ConvTiling(),
+                ("conv", 3, 1): ConvTiling(w2vec=7, c1vec=8),
+                ("conv", 3, 2): ConvTiling(w2vec=7, c1vec=8),
+                ("conv", 1, 1): ConvTiling(w2vec=7, c2vec=8, c1vec=4),
+                ("conv", 1, 2): ConvTiling(c1vec=8),
+            },
+            dense_unroll=32,
+        )
+    raise ReproError(f"no default folded config for {network!r}")
+
+
+@dataclass
+class Deployment:
+    """A compiled, deployable network on one board."""
+
+    network: str
+    board: Board
+    graph: Graph
+    fused: FusedGraph
+    bitstream: Bitstream
+    plan: object  # PipelinePlan or FoldedPlan
+    mode: str  # 'pipelined' or 'folded'
+    level: Optional[str] = None
+    _params: Optional[Dict[str, np.ndarray]] = None
+
+    # -- timing -----------------------------------------------------------
+    def run(self, concurrent: bool = True) -> RunResult:
+        """Simulated steady-state inference timing."""
+        if self.mode == "pipelined":
+            return simulate_pipelined(self.bitstream, self.plan, concurrent)
+        return simulate_folded(self.bitstream, self.plan)
+
+    def fps(self, concurrent: bool = True) -> float:
+        return self.run(concurrent).fps
+
+    def gflops(self, concurrent: bool = True) -> float:
+        """End-to-end achieved GFLOPS (network FLOPs / frame time)."""
+        return self.run(concurrent).gflops(self.graph.total_flops())
+
+    def per_op(self) -> Dict[str, Dict[str, float]]:
+        """Per-operation GFLOPS/time shares (folded deployments only)."""
+        if self.mode != "folded":
+            raise ReproError("per-op profiling applies to folded deployments")
+        return per_op_profile(self.bitstream, self.plan)
+
+    # -- functional -------------------------------------------------------
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        if self._params is None:
+            self._params = init_params(self.graph, seed=0)
+        return self._params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Functional inference (NumPy executor over the fused graph)."""
+        return run_fused_graph(self.fused, x, self.params)
+
+    def classify(self, x: np.ndarray) -> int:
+        """Class index for one input image."""
+        return int(np.argmax(self.forward(x)))
+
+    # -- artifacts ---------------------------------------------------------
+    def opencl_source(self) -> str:
+        """The generated .cl file for this deployment."""
+        return generate_opencl(self.bitstream.program)
+
+    def area(self) -> Dict[str, float]:
+        return self.bitstream.utilization()
+
+    def __repr__(self) -> str:
+        tag = self.level or self.mode
+        return f"Deployment({self.network}/{tag} on {self.board.name})"
+
+
+def deploy_pipelined(
+    network: str,
+    board: Board,
+    level: str = "tvm_autorun",
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> Deployment:
+    """Build + synthesize a pipelined deployment (LeNet-class networks)."""
+    graph = _MODELS[network]()
+    fused = fuse_operators(graph)
+    program, plan = build_pipelined(fused, level, board)
+    bitstream = compile_program(program, board, constants)
+    return Deployment(
+        network=network, board=board, graph=graph, fused=fused,
+        bitstream=bitstream, plan=plan, mode="pipelined", level=level,
+    )
+
+
+def deploy_folded(
+    network: str,
+    board: Board,
+    naive: bool = False,
+    config: Optional[FoldedConfig] = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> Deployment:
+    """Build + synthesize a folded deployment (MobileNet/ResNet-class).
+
+    Raises :class:`~repro.errors.FitError` when the design does not fit
+    the board — e.g. every naive MobileNet/ResNet build on the Arria 10.
+    """
+    graph = _MODELS[network]()
+    fused = fuse_operators(graph)
+    if config is None:
+        config = default_folded_config(network, board, naive=naive)
+    program, plan = build_folded(fused, config, board)
+    bitstream = compile_program(program, board, constants)
+    return Deployment(
+        network=network, board=board, graph=graph, fused=fused,
+        bitstream=bitstream, plan=plan, mode="folded",
+        level="naive" if config.naive else "folded",
+    )

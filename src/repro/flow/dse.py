@@ -1,0 +1,152 @@
+"""Tiling-factor design-space exploration (thesis §4.11 + future work §8.1).
+
+The thesis selects unroll/tiling factors manually under three
+requirements and leaves an automatic explorer to future work; this module
+implements that explorer against the reproduction's AOC model:
+
+1. the widened access width must not exceed what external memory can
+   feed at the design clock (the bandwidth roof);
+2. factors must evenly divide every layer extent they tile;
+3. the synthesized design must fit (and route on) the board.
+
+``explore_conv1x1`` sweeps (w2vec, c2vec, c1vec) space for the MobileNet
+pointwise kernel the way Table 6.6 does, and ``choose_tiling`` returns
+the best configuration by modelled throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.aoc.compiler import compile_program
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.device.boards import Board
+from repro.errors import FitError, RoutingError
+from repro.flow.folded import FoldedConfig, build_folded
+from repro.relay.passes import FusedGraph
+from repro.runtime.simulate import simulate_folded
+from repro.topi import ConvTiling
+
+
+@dataclass
+class DSEPoint:
+    """One evaluated tiling configuration."""
+
+    tiling: ConvTiling
+    fits: bool
+    routed: bool
+    fps: Optional[float] = None
+    fmax_mhz: Optional[float] = None
+    dsps: Optional[int] = None
+    fail_reason: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits and self.routed
+
+
+def bandwidth_roof_elems(board: Board, fmax_mhz: float) -> int:
+    """Max unroll width sustainable by external memory (requirement 1).
+
+    E.g. the Arria 10's 34.1 GB/s at 250 MHz supports ~136 bytes/cycle,
+    about 32 floats (the thesis's worked example).
+    """
+    bytes_per_cycle = board.peak_bw_gbs * 1e3 / fmax_mhz
+    return max(1, int(bytes_per_cycle // 4))
+
+
+def divides_all(factor: int, extents: Iterable[int]) -> bool:
+    """Requirement 2: the factor must divide every tiled extent."""
+    return all(e % factor == 0 for e in extents)
+
+
+def evaluate_tiling(
+    fused: FusedGraph,
+    board: Board,
+    group: Tuple[str, int, int],
+    tiling: ConvTiling,
+    base_config: Optional[FoldedConfig] = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> DSEPoint:
+    """Compile + simulate the network with one tiling for one conv group."""
+    from repro.flow.deploy import default_folded_config
+
+    config = base_config or default_folded_config(fused.graph.name, board)
+    config = FoldedConfig(
+        conv_tilings=dict(config.conv_tilings),
+        dense_unroll=config.dense_unroll,
+        pin_unit_stride=config.pin_unit_stride,
+    )
+    config.conv_tilings[group] = tiling
+    program, plan = build_folded(fused, config, board)
+    try:
+        bs = compile_program(program, board, constants)
+    except FitError as e:
+        return DSEPoint(tiling, fits=False, routed=True, fail_reason=str(e))
+    except RoutingError as e:
+        return DSEPoint(tiling, fits=True, routed=False, fail_reason=str(e))
+    result = simulate_folded(bs, plan)
+    return DSEPoint(
+        tiling,
+        fits=True,
+        routed=True,
+        fps=result.fps,
+        fmax_mhz=bs.fmax_mhz,
+        dsps=bs.total.dsps,
+    )
+
+
+def explore_conv1x1(
+    fused: FusedGraph,
+    board: Board,
+    w2vec_options: Sequence[int] = (7,),
+    c2vec_options: Sequence[int] = (4, 8, 16, 32),
+    c1vec_options: Sequence[int] = (4, 8, 16),
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> List[DSEPoint]:
+    """Sweep 1x1-conv tiling space (the Table 6.6 experiment, generalized).
+
+    Candidate factors violating divisibility over the network's 1x1
+    layers are skipped before synthesis, per requirement 2.
+    """
+    w2_extents, c2_extents, c1_extents = _conv1x1_extents(fused)
+    points: List[DSEPoint] = []
+    for w2 in w2vec_options:
+        if not divides_all(w2, w2_extents):
+            continue
+        for c2 in c2vec_options:
+            if not divides_all(c2, c2_extents):
+                continue
+            for c1 in c1vec_options:
+                if not divides_all(c1, c1_extents):
+                    continue
+                points.append(
+                    evaluate_tiling(
+                        fused, board, ("conv", 1, 1),
+                        ConvTiling(w2vec=w2, c2vec=c2, c1vec=c1),
+                        constants=constants,
+                    )
+                )
+    return points
+
+
+def choose_tiling(points: Sequence[DSEPoint]) -> DSEPoint:
+    """Best feasible point by modelled FPS (requirement 3 filters)."""
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        raise FitError("no feasible tiling configuration in the swept space")
+    return max(feasible, key=lambda p: p.fps or 0.0)
+
+
+def _conv1x1_extents(fused: FusedGraph) -> Tuple[List[int], List[int], List[int]]:
+    w2, c2, c1 = [], [], []
+    for fn in fused:
+        if fn.op == "conv2d" and fn.anchor.attrs["field"] == 1:
+            c1_, _, w_ = fn.anchor.inputs[0].out_shape
+            k, _, wo = fn.anchor.out_shape
+            w2.append(wo)
+            c2.append(k)
+            c1.append(c1_)
+    return w2, c2, c1

@@ -1,0 +1,339 @@
+"""Folded (time-multiplexed) deployment builder — thesis Sections 4.9/6.3.2.
+
+Larger networks cannot map one kernel per layer: the LSUs alone exhaust
+board resources.  Folded execution groups convolutions by (operation,
+filter size, stride, fused-epilogue signature) into **parameterized
+kernels** whose channel counts and spatial sizes are runtime arguments
+(Section 5.3); every layer becomes one invocation of its group's kernel.
+The naive mode builds one static kernel per layer with default schedules —
+the baseline that fails to fit on the Arria 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import repro.ir as ir
+from repro.device.boards import Board
+from repro.errors import ReproError, UnsupportedError
+from repro.relay.passes import FusedGraph, FusedNode
+from repro.runtime.plan import FoldedPlan, Invocation
+from repro.schedule import create_schedule, lower
+from repro.topi import (
+    ConvSpec,
+    ConvTiling,
+    DenseSpec,
+    PoolSpec,
+    conv2d_symbolic,
+    conv2d_tensors,
+    dense_tensors,
+    depthwise_symbolic,
+    depthwise_tensors,
+    flatten_tensors,
+    gap_tensors,
+    pad_symbolic,
+    pad_tensors,
+    pool_tensors,
+    schedule_conv1x1_opt,
+    schedule_conv2d_naive,
+    schedule_conv2d_opt,
+    schedule_dense_naive,
+    schedule_dense_opt,
+    schedule_depthwise_naive,
+    schedule_depthwise_opt,
+    schedule_pool_naive,
+    schedule_pool_opt,
+    schedule_symbolic_conv,
+    schedule_transform,
+    softmax_kernel_licm,
+    softmax_kernel_naive,
+)
+
+GroupKey = Tuple
+
+
+@dataclass
+class FoldedConfig:
+    """Tiling configuration for a folded deployment.
+
+    ``conv_tilings`` maps ``('conv'|'dw', field, stride)`` to a
+    :class:`ConvTiling`; unlisted groups default to FxF unrolling only.
+    """
+
+    conv_tilings: Dict[Tuple[str, int, int], ConvTiling] = field(default_factory=dict)
+    dense_unroll: int = 32
+    naive: bool = False
+    #: model the Listing 5.11 stride-pinning workaround (True = coalesced)
+    pin_unit_stride: bool = True
+
+    def tiling_for(self, kind: str, f: int, s: int) -> ConvTiling:
+        return self.conv_tilings.get((kind, f, s), ConvTiling())
+
+
+def op_label(fn: FusedNode) -> str:
+    """Operation label used by the per-op profiling tables."""
+    a = fn.anchor.attrs
+    if fn.op == "conv2d":
+        f, s = a["field"], a["stride"]
+        return f"{f}x{f} conv S={s}"
+    if fn.op == "depthwise_conv2d":
+        return f"3x3 DW conv S={a['stride']}"
+    if fn.op == "pad":
+        return "pad"
+    if fn.op == "dense":
+        return "dense"
+    if fn.op in ("maxpool", "avgpool"):
+        return "pool"
+    if fn.op == "global_avgpool":
+        return "avgpool"
+    return fn.op
+
+
+class _FoldedBuilder:
+    def __init__(self, fused: FusedGraph, config: FoldedConfig, board: Board) -> None:
+        self.fused = fused
+        self.config = config
+        self.board = board
+        self.kernels: List[ir.Kernel] = []
+        self.invocations: List[Invocation] = []
+        #: group key -> (kernel name, symbolic handle or None)
+        self.groups: Dict[GroupKey, Tuple[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> Tuple[ir.Program, FoldedPlan]:
+        counts: Dict[GroupKey, int] = {}
+        for fn in self.fused:
+            counts[self._group_key(fn)] = counts.get(self._group_key(fn), 0) + 1
+        for fn in self.fused:
+            key = self._group_key(fn)
+            parameterize = (
+                not self.config.naive
+                and counts[key] > 1
+                and fn.op in ("conv2d", "depthwise_conv2d", "pad")
+            )
+            if parameterize:
+                kname, handle = self._get_group_kernel(fn, key)
+                bindings = self._bindings(fn, handle)
+                prefix = kname[2:]  # strip the "k_" kernel prefix
+            else:
+                kname = self._build_static_kernel(fn)
+                bindings = None
+                prefix = fn.name
+            self.invocations.append(
+                Invocation(
+                    kernel_name=kname,
+                    layer=fn.name,
+                    op_label=op_label(fn),
+                    bindings=bindings,
+                    flops=fn.flops(),
+                    buffer_prefix=prefix,
+                    input_node=fn.anchor.inputs[0].name,
+                    extra_input_nodes=tuple(n.name for n in fn.extra_inputs),
+                )
+            )
+        graph = self.fused.graph
+        in_elems = 1
+        for d in graph.input.out_shape:
+            in_elems *= d
+        out_elems = 1
+        for d in graph.output.out_shape:
+            out_elems *= d
+        suffix = "naive" if self.config.naive else "folded"
+        prog = ir.Program(self.kernels, f"{graph.name}_{suffix}")
+        plan = FoldedPlan(
+            invocations=self.invocations,
+            input_bytes=in_elems * 4,
+            output_bytes=out_elems * 4,
+        )
+        return prog, plan
+
+    # ------------------------------------------------------------------
+    def _group_key(self, fn: FusedNode) -> GroupKey:
+        a = fn.anchor.attrs
+        if fn.op == "conv2d":
+            return (
+                "conv", a["field"], a["stride"], a.get("bias", True),
+                fn.activation, fn.has_residual, fn.has_batchnorm,
+            )
+        if fn.op == "depthwise_conv2d":
+            return (
+                "dw", a["field"], a["stride"], a.get("bias", True),
+                fn.activation, fn.has_batchnorm,
+            )
+        if fn.op == "pad":
+            return ("pad",) + tuple(a["pad"])
+        return ("static", fn.name)
+
+    # ------------------------------------------------------------------
+    def _get_group_kernel(self, fn: FusedNode, key: GroupKey):
+        if key in self.groups:
+            return self.groups[key]
+        a = fn.anchor.attrs
+        pin = self.config.pin_unit_stride
+        base = "_".join(str(p) for p in key).replace("-", "m")
+        kname = f"k_{base}"
+        if fn.op == "conv2d":
+            fn.check_canonical_epilogue()
+            f, s = a["field"], a["stride"]
+            handle, _, out = conv2d_symbolic(
+                f, s, base, bias=a.get("bias", True), activation=fn.activation,
+                residual=fn.has_residual, batchnorm=fn.has_batchnorm,
+                pin_unit_stride=pin,
+            )
+            sch = schedule_symbolic_conv(
+                out, self.config.tiling_for("conv", f, s), is_1x1=(f == 1)
+            )
+            kern = lower(sch, kname)
+        elif fn.op == "depthwise_conv2d":
+            fn.check_canonical_epilogue()
+            f, s = a["field"], a["stride"]
+            handle, _, out = depthwise_symbolic(
+                f, s, base, bias=a.get("bias", True), activation=fn.activation,
+                batchnorm=fn.has_batchnorm, pin_unit_stride=pin,
+            )
+            sch = schedule_symbolic_conv(
+                out, self.config.tiling_for("dw", f, s), is_1x1=False
+            )
+            kern = lower(sch, kname)
+        elif fn.op == "pad":
+            before, after = a["pad"]
+            handle, _, out = pad_symbolic(before, after, base)
+            kern = lower(create_schedule(out), kname)
+        else:  # pragma: no cover
+            raise UnsupportedError(f"cannot parameterize {fn.op}")
+        self.kernels.append(kern)
+        self.groups[key] = (kname, handle)
+        return self.groups[key]
+
+    def _bindings(self, fn: FusedNode, handle):
+        c_in = fn.anchor.inputs[0].out_shape
+        a = fn.anchor.attrs
+        if fn.op == "conv2d":
+            c1, hi, wi = c_in
+            return handle.bindings(c1, hi, wi, a["filters"])
+        if fn.op == "depthwise_conv2d":
+            c1, hi, wi = c_in
+            return handle.bindings(c1, hi, wi)
+        if fn.op == "pad":
+            c, hi, wi = c_in
+            return handle.bindings(c, hi, wi)
+        raise UnsupportedError(fn.op)  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _build_static_kernel(self, fn: FusedNode) -> str:
+        a = fn.anchor.attrs
+        naive = self.config.naive
+        kname = f"k_{fn.name}"
+        if fn.op == "conv2d":
+            fn.check_canonical_epilogue()
+            c1, h, w = fn.anchor.inputs[0].out_shape
+            spec = ConvSpec(
+                c1=c1, h=h, w=w, k=a["filters"], f=a["field"], s=a["stride"],
+                bias=a.get("bias", True), activation=fn.activation,
+                residual=fn.has_residual, batchnorm=fn.has_batchnorm,
+            )
+            _, out = conv2d_tensors(spec, fn.name)
+            if naive:
+                sch = schedule_conv2d_naive(
+                    out, auto_unroll_ff=self.board.auto_unroll_small_loops
+                )
+            else:
+                tiling = self.config.tiling_for("conv", spec.f, spec.s)
+                tiling = self._legal_tiling(tiling, spec)
+                if spec.f == 1:
+                    sch = schedule_conv1x1_opt(out, tiling)
+                else:
+                    sch = schedule_conv2d_opt(out, tiling)
+            kern = lower(sch, kname)
+        elif fn.op == "depthwise_conv2d":
+            fn.check_canonical_epilogue()
+            c1, h, w = fn.anchor.inputs[0].out_shape
+            spec = ConvSpec(
+                c1=c1, h=h, w=w, k=c1, f=a["field"], s=a["stride"],
+                bias=a.get("bias", True), activation=fn.activation,
+                batchnorm=fn.has_batchnorm,
+            )
+            _, out = depthwise_tensors(spec, fn.name)
+            if naive:
+                sch = schedule_depthwise_naive(
+                    out, auto_unroll_ff=self.board.auto_unroll_small_loops
+                )
+            else:
+                tiling = self._legal_tiling(
+                    self.config.tiling_for("dw", spec.f, spec.s), spec
+                )
+                sch = schedule_depthwise_opt(out, tiling)
+            kern = lower(sch, kname)
+        elif fn.op == "pad":
+            before, after = a["pad"]
+            c, h, w = fn.anchor.inputs[0].out_shape
+            _, out = pad_tensors(c, h, w, before, after, fn.name)
+            kern = lower(schedule_transform(out), kname)
+        elif fn.op in ("maxpool", "avgpool"):
+            c, h, w = fn.anchor.inputs[0].out_shape
+            spec = PoolSpec(
+                c=c, h=h, w=w, field=a["field"], stride=a["stride"],
+                kind="max" if fn.op == "maxpool" else "avg",
+            )
+            _, out = pool_tensors(spec, fn.name)
+            sch = schedule_pool_naive(out) if naive else schedule_pool_opt(out)
+            kern = lower(sch, kname)
+        elif fn.op == "global_avgpool":
+            c, h, w = fn.anchor.inputs[0].out_shape
+            _, out = gap_tensors(c, h, w, fn.name)
+            sch = schedule_pool_naive(out) if naive else schedule_pool_opt(out)
+            kern = lower(sch, kname)
+        elif fn.op == "flatten":
+            c, h, w = fn.anchor.inputs[0].out_shape
+            _, out = flatten_tensors(c, h, w, fn.name)
+            kern = lower(schedule_transform(out), kname)
+        elif fn.op == "dense":
+            (n,) = fn.anchor.inputs[0].out_shape
+            spec = DenseSpec(
+                n=n, m=a["units"], bias=a.get("bias", True),
+                activation=fn.activation,
+            )
+            _, out = dense_tensors(spec, fn.name)
+            if naive:
+                sch = schedule_dense_naive(out)
+            else:
+                factor = self.config.dense_unroll
+                while factor > 1 and n % factor != 0:
+                    factor //= 2
+                sch = schedule_dense_opt(out, factor)
+            kern = lower(sch, kname)
+        elif fn.op == "softmax":
+            (n,) = fn.anchor.inputs[0].out_shape
+            if naive:
+                kern = softmax_kernel_naive(n, fn.name, kname)
+            else:
+                kern = softmax_kernel_licm(n, fn.name, kname)
+        else:  # pragma: no cover
+            raise UnsupportedError(f"folded builder: unsupported op {fn.op}")
+        self.kernels.append(kern)
+        return kname
+
+    @staticmethod
+    def _legal_tiling(tiling: ConvTiling, spec: ConvSpec) -> ConvTiling:
+        """Clamp tiling factors to divide this static layer's dims
+        (thesis requirement 2 in Section 4.11)."""
+
+        def fit(factor: int, extent: int) -> int:
+            while factor > 1 and extent % factor != 0:
+                factor -= 1
+            return factor
+
+        return ConvTiling(
+            w2vec=fit(tiling.w2vec, spec.wo),
+            c2vec=fit(tiling.c2vec, spec.k),
+            c1vec=fit(tiling.c1vec, spec.c1),
+            unroll_ff=tiling.unroll_ff,
+        )
+
+
+def build_folded(
+    fused: FusedGraph, config: FoldedConfig, board: Board
+) -> Tuple[ir.Program, FoldedPlan]:
+    """Build a folded program + invocation plan for a network."""
+    return _FoldedBuilder(fused, config, board).build()

@@ -1,0 +1,165 @@
+"""Static analyses over the IR used by the scheduler and the AOC model.
+
+Includes constant evaluation of integer expressions under variable
+bindings, free-variable collection, and affine stride extraction — the
+machinery AOC's model uses to decide whether accesses can be coalesced
+(compile-time-known stride 1) or not (symbolic strides, thesis §5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.ir import expr as _e
+from repro.ir import stmt as _s
+from repro.ir.functor import ExprVisitor, StmtVisitor
+
+Bindings = Dict[_e.Var, int]
+
+
+def eval_int(e: _e.Expr, bindings: Optional[Bindings] = None) -> Optional[int]:
+    """Evaluate an int32 expression to a constant; None if symbolic.
+
+    ``bindings`` maps symbolic vars (shape arguments) to concrete values;
+    unbound vars make the result None.
+    """
+    bindings = bindings or {}
+    if isinstance(e, _e.IntImm):
+        return e.value
+    if isinstance(e, _e.Var):
+        return bindings.get(e)
+    if isinstance(e, _e._BinaryOp):
+        a = eval_int(e.a, bindings)
+        b = eval_int(e.b, bindings)
+        if a is None or b is None:
+            return None
+        if isinstance(e, _e.Add):
+            return a + b
+        if isinstance(e, _e.Sub):
+            return a - b
+        if isinstance(e, _e.Mul):
+            return a * b
+        if isinstance(e, _e.FloorDiv):
+            return a // b
+        if isinstance(e, _e.Mod):
+            return a % b
+        if isinstance(e, _e.Min):
+            return min(a, b)
+        if isinstance(e, _e.Max):
+            return max(a, b)
+    return None
+
+
+def free_vars(e: _e.Expr) -> Set[_e.Var]:
+    """Collect every Var referenced in an expression."""
+
+    class _V(ExprVisitor):
+        def __init__(self) -> None:
+            self.vars: Set[_e.Var] = set()
+
+        def visit_Var(self, v: _e.Var) -> None:
+            self.vars.add(v)
+
+    v = _V()
+    v.visit(e)
+    return v.vars
+
+
+def stmt_free_vars(s: _s.Stmt) -> Set[_e.Var]:
+    """Collect every Var referenced anywhere in a statement tree."""
+
+    class _V(StmtVisitor):
+        def __init__(self) -> None:
+            self.vars: Set[_e.Var] = set()
+
+        def visit_Var(self, v: _e.Var) -> None:
+            self.vars.add(v)
+
+    v = _V()
+    v.visit_stmt(s)
+    return v.vars
+
+
+def stride_of(index: _e.Expr, var: _e.Var) -> Optional[int]:
+    """Coefficient of ``var`` in an affine index expression.
+
+    Returns the constant stride with which ``index`` advances per unit of
+    ``var``, or None when the expression is not affine in ``var`` or the
+    stride is not a compile-time constant (symbolic strides).  A var that
+    does not appear at all has stride 0.
+    """
+    if isinstance(index, _e.Var):
+        return 1 if index is var else 0
+    if isinstance(index, (_e.IntImm, _e.FloatImm)):
+        return 0
+    if isinstance(index, _e.Add):
+        a = stride_of(index.a, var)
+        b = stride_of(index.b, var)
+        if a is None or b is None:
+            return None
+        return a + b
+    if isinstance(index, _e.Sub):
+        a = stride_of(index.a, var)
+        b = stride_of(index.b, var)
+        if a is None or b is None:
+            return None
+        return a - b
+    if isinstance(index, _e.Mul):
+        sa = stride_of(index.a, var)
+        sb = stride_of(index.b, var)
+        if sa is None or sb is None:
+            return None
+        if sa == 0 and sb == 0:
+            return 0
+        if sa == 0:
+            # a is constant w.r.t. var; stride = const(a) * sb
+            ca = eval_int(index.a)
+            return None if ca is None else ca * sb
+        if sb == 0:
+            cb = eval_int(index.b)
+            return None if cb is None else cb * sa
+        return None  # quadratic in var
+    if isinstance(index, (_e.FloorDiv, _e.Mod)):
+        a = stride_of(index.a, var)
+        b = stride_of(index.b, var)
+        if a == 0 and b == 0:
+            return 0
+        return None  # non-affine in var
+    # conservative default: unknown if var occurs, else 0
+    return 0 if var not in free_vars(index) else None
+
+
+def contains_reduce(e: _e.Expr) -> bool:
+    """True if a Reduce node appears anywhere in the expression."""
+
+    class _V(ExprVisitor):
+        found = False
+
+        def visit_Reduce(self, r: _e.Reduce) -> None:
+            self.found = True
+
+    v = _V()
+    v.visit(e)
+    return v.found
+
+
+def count_flops_expr(e: _e.Expr) -> int:
+    """Count floating-point add/sub/mul/div/min/max/exp ops in an expression."""
+
+    class _V(ExprVisitor):
+        def __init__(self) -> None:
+            self.flops = 0
+
+        def generic_visit(self, node: _e.Expr) -> None:
+            if (
+                isinstance(node, (_e.Add, _e.Sub, _e.Mul, _e.Div, _e.Min, _e.Max))
+                and node.dtype == _e.FLOAT32
+            ):
+                self.flops += 1
+            elif isinstance(node, _e.Call):
+                self.flops += 1
+            super().generic_visit(node)
+
+    v = _V()
+    v.visit(e)
+    return v.flops

@@ -1,0 +1,205 @@
+"""Generic traversal infrastructure: visitors and mutators over IR trees.
+
+:class:`ExprVisitor`/:class:`StmtVisitor` implement post-order traversal
+with per-node-type hooks; :class:`ExprMutator`/:class:`StmtMutator`
+rebuild trees functionally (the input IR is never modified in place).
+All compiler passes (unroll expansion, variable substitution, dependence
+analysis, the interpreter) are built on these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.ir import expr as _e
+from repro.ir import stmt as _s
+
+
+class ExprVisitor:
+    """Post-order expression visitor. Override ``visit_<cls>`` methods."""
+
+    def visit(self, e: _e.Expr) -> None:
+        method = getattr(self, f"visit_{type(e).__name__}", None)
+        if method is not None:
+            method(e)
+        else:
+            self.generic_visit(e)
+
+    def generic_visit(self, e: _e.Expr) -> None:
+        for child in e.children():
+            self.visit(child)
+
+
+class ExprMutator:
+    """Functional expression rewriter. Override ``mutate_<cls>`` methods.
+
+    Default behaviour reconstructs each node from mutated children; nodes
+    whose children are unchanged are returned as-is (preserving sharing).
+    """
+
+    def mutate(self, e: _e.Expr) -> _e.Expr:
+        method = getattr(self, f"mutate_{type(e).__name__}", None)
+        if method is not None:
+            return method(e)
+        return self.generic_mutate(e)
+
+    def generic_mutate(self, e: _e.Expr) -> _e.Expr:
+        if isinstance(e, (_e.IntImm, _e.FloatImm, _e.StringImm, _e.Var)):
+            return e
+        if isinstance(e, _e._BinaryOp):
+            a, b = self.mutate(e.a), self.mutate(e.b)
+            if a is e.a and b is e.b:
+                return e
+            return type(e)(a, b)
+        if isinstance(e, _e.Not):
+            a = self.mutate(e.a)
+            return e if a is e.a else _e.Not(a)
+        if isinstance(e, _e.Cast):
+            v = self.mutate(e.value)
+            return e if v is e.value else _e.Cast(e.dtype, v)
+        if isinstance(e, _e.Select):
+            c = self.mutate(e.cond)
+            t = self.mutate(e.then_value)
+            f = self.mutate(e.else_value)
+            if c is e.cond and t is e.then_value and f is e.else_value:
+                return e
+            return _e.Select(c, t, f)
+        if isinstance(e, _e.Call):
+            args = tuple(self.mutate(a) for a in e.args)
+            if all(a is b for a, b in zip(args, e.args)):
+                return e
+            return _e.Call(e.name, args, e.dtype)
+        if isinstance(e, _e.Load):
+            idx = self.mutate(e.index)
+            return e if idx is e.index else _e.Load(e.buffer, idx)
+        if isinstance(e, _e.ChannelRead):
+            return e
+        if isinstance(e, _e.Reduce):
+            v = self.mutate(e.value)
+            return e if v is e.value else _e.Reduce(e.kind, v, e.axes)
+        raise NotImplementedError(f"no mutate rule for {type(e).__name__}")
+
+
+class StmtVisitor(ExprVisitor):
+    """Post-order statement visitor; also walks embedded expressions."""
+
+    def visit_stmt(self, s: _s.Stmt) -> None:
+        method = getattr(self, f"visit_{type(s).__name__}", None)
+        if method is not None:
+            method(s)
+        else:
+            self.generic_visit_stmt(s)
+
+    def generic_visit_stmt(self, s: _s.Stmt) -> None:
+        if isinstance(s, _s.Store):
+            self.visit(s.index)
+            self.visit(s.value)
+        elif isinstance(s, _s.Evaluate):
+            self.visit(s.value)
+        elif isinstance(s, _s.ChannelWrite):
+            self.visit(s.value)
+        elif isinstance(s, _s.For):
+            self.visit(s.extent)
+        elif isinstance(s, _s.IfThenElse):
+            self.visit(s.cond)
+        for child in s.children():
+            self.visit_stmt(child)
+
+
+class StmtMutator(ExprMutator):
+    """Functional statement rewriter."""
+
+    def mutate_stmt(self, s: _s.Stmt) -> Optional[_s.Stmt]:
+        method = getattr(self, f"mutate_{type(s).__name__}", None)
+        if method is not None:
+            return method(s)
+        return self.generic_mutate_stmt(s)
+
+    def generic_mutate_stmt(self, s: _s.Stmt) -> Optional[_s.Stmt]:
+        if isinstance(s, _s.Store):
+            idx, val = self.mutate(s.index), self.mutate(s.value)
+            if idx is s.index and val is s.value:
+                return s
+            return _s.Store(s.buffer, idx, val)
+        if isinstance(s, _s.Evaluate):
+            v = self.mutate(s.value)
+            return s if v is s.value else _s.Evaluate(v)
+        if isinstance(s, _s.ChannelWrite):
+            v = self.mutate(s.value)
+            return s if v is s.value else _s.ChannelWrite(s.channel, v)
+        if isinstance(s, _s.SeqStmt):
+            new = [self.mutate_stmt(c) for c in s.stmts]
+            new = [c for c in new if c is not None]
+            if len(new) == len(s.stmts) and all(a is b for a, b in zip(new, s.stmts)):
+                return s
+            if not new:
+                return None
+            return _s.SeqStmt(new)
+        if isinstance(s, _s.For):
+            extent = self.mutate(s.extent)
+            body = self.mutate_stmt(s.body)
+            if body is None:
+                return None
+            if extent is s.extent and body is s.body:
+                return s
+            return _s.For(s.loop_var, extent, body, s.kind, s.unroll_factor)
+        if isinstance(s, _s.IfThenElse):
+            cond = self.mutate(s.cond)
+            then_body = self.mutate_stmt(s.then_body)
+            else_body = self.mutate_stmt(s.else_body) if s.else_body else None
+            if cond is s.cond and then_body is s.then_body and else_body is s.else_body:
+                return s
+            if then_body is None and else_body is None:
+                return None
+            return _s.IfThenElse(cond, then_body, else_body)
+        if isinstance(s, _s.Allocate):
+            body = self.mutate_stmt(s.body)
+            if body is None:
+                return None
+            return s if body is s.body else _s.Allocate(s.buffer, body)
+        if isinstance(s, _s.AttrStmt):
+            body = self.mutate_stmt(s.body)
+            if body is None:
+                return None
+            return s if body is s.body else _s.AttrStmt(s.key, s.value, body)
+        raise NotImplementedError(f"no mutate rule for {type(s).__name__}")
+
+
+class Substituter(ExprMutator):
+    """Replace variables by expressions (used by unrolling & binding)."""
+
+    def __init__(self, mapping: Dict[_e.Var, _e.Expr]) -> None:
+        self.mapping = mapping
+
+    def mutate_Var(self, e: _e.Var) -> _e.Expr:
+        return self.mapping.get(e, e)
+
+
+class StmtSubstituter(StmtMutator, Substituter):
+    """Variable substitution over whole statement trees."""
+
+    def __init__(self, mapping: Dict[_e.Var, _e.Expr]) -> None:
+        Substituter.__init__(self, mapping)
+
+
+def substitute(e: _e.Expr, mapping: Dict[_e.Var, _e.Expr]) -> _e.Expr:
+    """Substitute variables in an expression."""
+    return Substituter(mapping).mutate(e)
+
+
+def substitute_stmt(s: _s.Stmt, mapping: Dict[_e.Var, _e.Expr]) -> _s.Stmt:
+    """Substitute variables in a statement tree."""
+    out = StmtSubstituter(mapping).mutate_stmt(s)
+    assert out is not None
+    return out
+
+
+def visit_exprs(s: _s.Stmt, fn: Callable[[_e.Expr], None]) -> None:
+    """Call ``fn`` on every (sub)expression embedded in ``s``."""
+
+    class _V(StmtVisitor):
+        def generic_visit(self, e: _e.Expr) -> None:
+            fn(e)
+            super().generic_visit(e)
+
+    _V().visit_stmt(s)

@@ -1,0 +1,104 @@
+"""Human-readable pretty printer for IR expressions and statements.
+
+The output is C-like pseudocode close to the listings in the thesis; the
+real OpenCL-C emission lives in :mod:`repro.codegen.opencl`.  This printer
+is used by ``repr`` and by tests asserting loop structure.
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as _e
+from repro.ir import stmt as _s
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "//": 6,
+    "%": 6,
+}
+
+
+def expr_str(e: _e.Expr, parent_prec: int = 0) -> str:
+    """Render an expression as C-like text."""
+    if isinstance(e, _e.IntImm):
+        return str(e.value)
+    if isinstance(e, _e.FloatImm):
+        return f"{e.value:g}f"
+    if isinstance(e, _e.StringImm):
+        return repr(e.value)
+    if isinstance(e, _e.Var):
+        return e.name
+    if isinstance(e, (_e.Min, _e.Max)):
+        fn = "min" if isinstance(e, _e.Min) else "max"
+        return f"{fn}({expr_str(e.a)}, {expr_str(e.b)})"
+    if isinstance(e, _e._BinaryOp):
+        op = e.op_name
+        prec = _PRECEDENCE.get(op, 7)
+        inner = f"{expr_str(e.a, prec)} {op} {expr_str(e.b, prec + 1)}"
+        return f"({inner})" if prec < parent_prec else inner
+    if isinstance(e, _e.Not):
+        return f"!{expr_str(e.a, 8)}"
+    if isinstance(e, _e.Cast):
+        return f"({e.dtype}){expr_str(e.value, 8)}"
+    if isinstance(e, _e.Select):
+        return (
+            f"({expr_str(e.cond)} ? {expr_str(e.then_value)}"
+            f" : {expr_str(e.else_value)})"
+        )
+    if isinstance(e, _e.Call):
+        return f"{e.name}({', '.join(expr_str(a) for a in e.args)})"
+    if isinstance(e, _e.Load):
+        return f"{e.buffer.name}[{expr_str(e.index)}]"
+    if isinstance(e, _e.ChannelRead):
+        return f"read_channel_intel({e.channel.name})"
+    if isinstance(e, _e.Reduce):
+        axes = ", ".join(ax.var.name for ax in e.axes)
+        return f"{e.kind}({expr_str(e.value)}, axis=[{axes}])"
+    return f"<{type(e).__name__}>"
+
+
+def stmt_str(s: _s.Stmt, indent: int = 0) -> str:
+    """Render a statement tree as indented pseudocode."""
+    pad = "  " * indent
+    if isinstance(s, _s.Store):
+        return f"{pad}{s.buffer.name}[{expr_str(s.index)}] = {expr_str(s.value)};"
+    if isinstance(s, _s.Evaluate):
+        return f"{pad}{expr_str(s.value)};"
+    if isinstance(s, _s.ChannelWrite):
+        return f"{pad}write_channel_intel({s.channel.name}, {expr_str(s.value)});"
+    if isinstance(s, _s.SeqStmt):
+        return "\n".join(stmt_str(c, indent) for c in s.stmts)
+    if isinstance(s, _s.For):
+        v = s.loop_var.name
+        header = f"{pad}for ({v} = 0; {v} < {expr_str(s.extent)}; ++{v})"
+        pragma = ""
+        if s.kind is _s.ForKind.UNROLLED:
+            factor = "" if s.unroll_factor is None else f" {s.unroll_factor}"
+            pragma = f"{pad}#pragma unroll{factor}\n"
+        elif s.kind is _s.ForKind.PIPELINED:
+            pragma = f"{pad}// pipelined\n"
+        return f"{pragma}{header} {{\n{stmt_str(s.body, indent + 1)}\n{pad}}}"
+    if isinstance(s, _s.IfThenElse):
+        out = f"{pad}if ({expr_str(s.cond)}) {{\n{stmt_str(s.then_body, indent + 1)}\n{pad}}}"
+        if s.else_body is not None:
+            out += f" else {{\n{stmt_str(s.else_body, indent + 1)}\n{pad}}}"
+        return out
+    if isinstance(s, _s.Allocate):
+        dims = "][".join(
+            d.name if isinstance(d, _e.Var) else str(d) for d in s.buffer.shape
+        )
+        decl = f"{pad}{s.buffer.scope} float {s.buffer.name}[{dims}];"
+        return f"{decl}\n{stmt_str(s.body, indent)}"
+    if isinstance(s, _s.AttrStmt):
+        return f"{pad}// attr {s.key} = {s.value}\n{stmt_str(s.body, indent)}"
+    return f"{pad}<{type(s).__name__}>"

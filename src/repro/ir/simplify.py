@@ -1,0 +1,149 @@
+"""IR simplification: constant folding and degenerate-loop elimination.
+
+The lowering phase can emit degenerate structures — trip-count-1 loops
+(e.g. the ``rco`` loop of a conv whose channel tiling equals the channel
+count), additions of zero from empty paddings, multiplications by one
+from unit strides.  AOC's front end folds these before scheduling; this
+pass does the same so the emitted OpenCL matches what the thesis's
+listings show and the analysis layer sees canonical IR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import expr as _e
+from repro.ir import stmt as _s
+from repro.ir.functor import StmtMutator, substitute, substitute_stmt
+from repro.ir.kernel import Kernel
+
+
+class _Folder(StmtMutator):
+    """Bottom-up constant folding + algebraic identities + loop collapse."""
+
+    # -- expressions -----------------------------------------------------
+    def generic_mutate(self, e: _e.Expr) -> _e.Expr:
+        e = super().generic_mutate(e)
+        if isinstance(e, _e._BinaryOp):
+            return self._fold_binary(e)
+        return e
+
+    @staticmethod
+    def _int(e: _e.Expr) -> Optional[int]:
+        return e.value if isinstance(e, _e.IntImm) else None
+
+    @staticmethod
+    def _float(e: _e.Expr) -> Optional[float]:
+        return e.value if isinstance(e, _e.FloatImm) else None
+
+    def _fold_binary(self, e: _e._BinaryOp) -> _e.Expr:
+        a, b = e.a, e.b
+        ia, ib = self._int(a), self._int(b)
+        # integer constant folding
+        if ia is not None and ib is not None:
+            if isinstance(e, _e.Add):
+                return _e.IntImm(ia + ib)
+            if isinstance(e, _e.Sub):
+                return _e.IntImm(ia - ib)
+            if isinstance(e, _e.Mul):
+                return _e.IntImm(ia * ib)
+            if isinstance(e, _e.FloorDiv) and ib != 0:
+                return _e.IntImm(ia // ib)
+            if isinstance(e, _e.Mod) and ib != 0:
+                return _e.IntImm(ia % ib)
+            if isinstance(e, _e.Min):
+                return _e.IntImm(min(ia, ib))
+            if isinstance(e, _e.Max):
+                return _e.IntImm(max(ia, ib))
+            if isinstance(e, _e.LT):
+                return _e.IntImm(int(ia < ib))
+            if isinstance(e, _e.LE):
+                return _e.IntImm(int(ia <= ib))
+            if isinstance(e, _e.GT):
+                return _e.IntImm(int(ia > ib))
+            if isinstance(e, _e.GE):
+                return _e.IntImm(int(ia >= ib))
+            if isinstance(e, _e.EQ):
+                return _e.IntImm(int(ia == ib))
+            if isinstance(e, _e.NE):
+                return _e.IntImm(int(ia != ib))
+        # algebraic identities (int and float)
+        if isinstance(e, _e.Add):
+            if ia == 0:
+                return b
+            if ib == 0:
+                return a
+            if self._float(a) == 0.0 and b.dtype == _e.FLOAT32:
+                return b
+            if self._float(b) == 0.0 and a.dtype == _e.FLOAT32:
+                return a
+        if isinstance(e, _e.Sub) and (ib == 0 or self._float(b) == 0.0):
+            return a
+        if isinstance(e, _e.Mul):
+            if ia == 1 or self._float(a) == 1.0:
+                return b
+            if ib == 1 or self._float(b) == 1.0:
+                return a
+            if ia == 0:
+                return a
+            if ib == 0:
+                return b
+        if isinstance(e, _e.FloorDiv) and ib == 1:
+            return a
+        return e
+
+    # -- statements --------------------------------------------------------
+    def mutate_For(self, s: _s.For) -> Optional[_s.Stmt]:
+        extent = self.mutate(s.extent)
+        body = self.mutate_stmt(s.body)
+        if body is None:
+            return None
+        if isinstance(extent, _e.IntImm) and extent.value == 1:
+            # collapse the loop: substitute iterator := 0 in the body
+            collapsed = substitute_stmt(body, {s.loop_var: _e.IntImm(0)})
+            folded = self.mutate_stmt(collapsed)
+            return folded
+        if extent is s.extent and body is s.body:
+            return s
+        return _s.For(s.loop_var, extent, body, s.kind, s.unroll_factor)
+
+    def mutate_IfThenElse(self, s: _s.IfThenElse) -> Optional[_s.Stmt]:
+        cond = self.mutate(s.cond)
+        then_body = self.mutate_stmt(s.then_body)
+        else_body = self.mutate_stmt(s.else_body) if s.else_body else None
+        if isinstance(cond, _e.IntImm):  # folded comparison
+            return then_body if cond.value else else_body
+        if then_body is None and else_body is None:
+            return None
+        if cond is s.cond and then_body is s.then_body and else_body is s.else_body:
+            return s
+        return _s.IfThenElse(cond, then_body or _s.Evaluate(_e.IntImm(0)), else_body)
+
+
+def simplify_stmt(s: _s.Stmt) -> _s.Stmt:
+    """Simplify a statement tree (pure; the input is not modified)."""
+    out = _Folder().mutate_stmt(s)
+    assert out is not None, "simplification removed the whole body"
+    return out
+
+
+def simplify_kernel(kernel: Kernel) -> Kernel:
+    """Return a kernel with a simplified body (same signature/metadata).
+
+    Scalar arguments that become unused after folding are retained — the
+    host ABI stays stable across simplification.
+    """
+    body = simplify_stmt(kernel.body)
+    if body is kernel.body:
+        return kernel
+    out = Kernel(
+        kernel.name,
+        kernel.args,
+        body,
+        scalar_args=kernel.scalar_args,
+        autorun=kernel.autorun,
+    )
+    out.cached_reads = kernel.cached_reads
+    out.scratch_args = kernel.scratch_args
+    out.output_buffer = kernel.output_buffer
+    return out

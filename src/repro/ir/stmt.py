@@ -1,0 +1,190 @@
+"""Statement IR: the lowered loop-nest language that kernels are made of.
+
+A kernel body is a tree of statements.  Loops carry a *kind* that records
+how the schedule asked the offline compiler to implement them:
+
+``SERIAL``
+    Ordinary loop; AOC will try to pipeline it (II analysis decides).
+``UNROLLED``
+    ``#pragma unroll [N]`` — fully or partially replicated hardware.
+``PIPELINED``
+    Explicitly marked pipelineable (the default outcome for clean loops).
+
+This matches the control the thesis exercises through TVM schedule
+primitives and AOC pragmas (Chapter 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir import expr as _e
+from repro.ir.buffer import Buffer, Channel
+
+
+class ForKind(enum.Enum):
+    """How a loop should be realized in hardware."""
+
+    SERIAL = "serial"
+    UNROLLED = "unrolled"
+    PIPELINED = "pipelined"
+
+
+class Stmt:
+    """Base class of all statements."""
+
+    __slots__ = ()
+
+    def children(self) -> Iterable["Stmt"]:
+        """Yield direct child statements."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from repro.ir.printer import stmt_str
+
+        return stmt_str(self)
+
+
+class Store(Stmt):
+    """``buffer[index] = value``."""
+
+    __slots__ = ("buffer", "index", "value")
+
+    def __init__(self, buffer: Buffer, index: _e.ExprLike, value: _e.ExprLike) -> None:
+        self.buffer = buffer
+        self.index = _e.convert(index)
+        self.value = _e.convert(value)
+        if self.index.dtype != _e.INT32:
+            raise IRError("Store index must be int32")
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for its effect (channel reads in isolation)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: _e.ExprLike) -> None:
+        self.value = _e.convert(value)
+
+
+class ChannelWrite(Stmt):
+    """``write_channel_intel(channel, value)``."""
+
+    __slots__ = ("channel", "value")
+
+    def __init__(self, channel: Channel, value: _e.ExprLike) -> None:
+        self.channel = channel
+        self.value = _e.convert(value)
+
+
+class SeqStmt(Stmt):
+    """Ordered sequence of statements. Nested sequences are flattened."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt]) -> None:
+        flat: List[Stmt] = []
+        for s in stmts:
+            if isinstance(s, SeqStmt):
+                flat.extend(s.stmts)
+            elif s is not None:
+                flat.append(s)
+        self.stmts = tuple(flat)
+
+    def children(self) -> Iterable[Stmt]:
+        return self.stmts
+
+
+class For(Stmt):
+    """Counted loop ``for (var = 0; var < extent; ++var) body``.
+
+    ``extent`` may be a symbolic :class:`~repro.ir.expr.Var` for
+    parameterized kernels.  ``unroll_factor`` only applies to
+    partially-unrolled loops (``kind == UNROLLED`` with a factor smaller
+    than the extent); ``None`` means full unroll for UNROLLED loops.
+    """
+
+    __slots__ = ("loop_var", "extent", "body", "kind", "unroll_factor")
+
+    def __init__(
+        self,
+        loop_var: _e.Var,
+        extent: Union[int, _e.Expr],
+        body: Stmt,
+        kind: ForKind = ForKind.SERIAL,
+        unroll_factor: Optional[int] = None,
+    ) -> None:
+        if not isinstance(loop_var, _e.Var):
+            raise IRError("For needs a Var loop variable")
+        self.loop_var = loop_var
+        self.extent = _e.convert(extent)
+        self.body = body
+        self.kind = kind
+        if unroll_factor is not None and unroll_factor < 1:
+            raise IRError("unroll factor must be >= 1")
+        self.unroll_factor = unroll_factor
+
+    def children(self) -> Iterable[Stmt]:
+        yield self.body
+
+    @property
+    def static_extent(self) -> Optional[int]:
+        """Trip count if statically known, else None (symbolic)."""
+        return self.extent.value if isinstance(self.extent, _e.IntImm) else None
+
+
+class IfThenElse(Stmt):
+    """Conditional statement (padding kernels use these)."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: _e.ExprLike, then_body: Stmt, else_body: Optional[Stmt] = None) -> None:
+        self.cond = _e.convert(cond)
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def children(self) -> Iterable[Stmt]:
+        yield self.then_body
+        if self.else_body is not None:
+            yield self.else_body
+
+
+class Allocate(Stmt):
+    """Allocate a non-global buffer for the duration of ``body``."""
+
+    __slots__ = ("buffer", "body")
+
+    def __init__(self, buffer: Buffer, body: Stmt) -> None:
+        if buffer.scope == "global":
+            raise IRError("global buffers are kernel arguments, not allocations")
+        self.buffer = buffer
+        self.body = body
+
+    def children(self) -> Iterable[Stmt]:
+        yield self.body
+
+
+class AttrStmt(Stmt):
+    """Generic annotation wrapper (e.g. pragma payloads)."""
+
+    __slots__ = ("key", "value", "body")
+
+    def __init__(self, key: str, value: object, body: Stmt) -> None:
+        self.key = key
+        self.value = value
+        self.body = body
+
+    def children(self) -> Iterable[Stmt]:
+        yield self.body
+
+
+def seq(*stmts: Optional[Stmt]) -> Stmt:
+    """Convenience sequence constructor that drops Nones and unwraps singles."""
+    items = [s for s in stmts if s is not None]
+    if not items:
+        raise IRError("empty statement sequence")
+    if len(items) == 1:
+        return items[0]
+    return SeqStmt(items)

@@ -1,0 +1,8 @@
+"""Benchmark network definitions: LeNet-5, MobileNetV1, ResNet-18/34."""
+
+from repro.models.alexnet import alexnet
+from repro.models.lenet import lenet5
+from repro.models.mobilenet import mobilenet_v1
+from repro.models.resnet import resnet, resnet18, resnet34, resnet50
+
+__all__ = ["alexnet", "lenet5", "mobilenet_v1", "resnet", "resnet18", "resnet34", "resnet50"]

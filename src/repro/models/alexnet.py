@@ -1,0 +1,53 @@
+"""AlexNet (Krizhevsky et al., 2012) — the Section 6.6 comparison network.
+
+DNNWeaver reports 184.33 GFLOPS on an AlexNet accelerator and DiCecco et
+al.'s geomean includes AlexNet's 3x3 convolutions; the thesis could only
+compare against them with MobileNet/ResNet proxies ("MobileNet and
+AlexNet have significant differences in architecture, and thus, this is
+not a complete comparison but the closest one that can be made with our
+evaluations").  This reproduction deploys AlexNet itself, so the §6.6
+comparisons can also be made like-for-like.
+
+The single-column variant with 2012 channel counts (~1.3-1.5G FP ops,
+~61M parameters; DNNWeaver's table lists AlexNet at 1.33G ops) and ReLU
+activations; LRN layers are omitted as in all modern deployments.
+"""
+
+from __future__ import annotations
+
+from repro.relay.graph import Graph, GraphBuilder
+
+
+def alexnet(num_classes: int = 1000) -> Graph:
+    """Build AlexNet for 3x224x224 inputs."""
+    g = GraphBuilder("alexnet")
+    x = g.input((3, 224, 224))
+    # conv1: 11x11/4 'valid-ish' (pad 2 keeps 55x55 geometry: (224+4-11)/4+1)
+    x = g.pad(x, 2, name="pad1")
+    x = g.conv2d(x, filters=64, field=11, stride=4, name="conv1")
+    x = g.relu(x)
+    x = g.maxpool(x, field=3, stride=2, name="pool1")  # 27x27
+    # conv2: 5x5 pad 2
+    x = g.pad(x, 2, name="pad2")
+    x = g.conv2d(x, filters=192, field=5, stride=1, name="conv2")
+    x = g.relu(x)
+    x = g.maxpool(x, field=3, stride=2, name="pool2")  # 13x13
+    # conv3-5: 3x3 pad 1
+    x = g.pad(x, 1, name="pad3")
+    x = g.conv2d(x, filters=384, field=3, stride=1, name="conv3")
+    x = g.relu(x)
+    x = g.pad(x, 1, name="pad4")
+    x = g.conv2d(x, filters=256, field=3, stride=1, name="conv4")
+    x = g.relu(x)
+    x = g.pad(x, 1, name="pad5")
+    x = g.conv2d(x, filters=256, field=3, stride=1, name="conv5")
+    x = g.relu(x)
+    x = g.maxpool(x, field=3, stride=2, name="pool5")  # 6x6
+    x = g.flatten(x, name="flatten")
+    x = g.dense(x, 4096, name="fc6")
+    x = g.relu(x)
+    x = g.dense(x, 4096, name="fc7")
+    x = g.relu(x)
+    x = g.dense(x, num_classes, name="fc8")
+    x = g.softmax(x, name="softmax")
+    return g.build()

@@ -1,0 +1,31 @@
+"""LeNet-5 as deployed in the thesis (Table 2.1).
+
+Input is a 1x28x28 MNIST digit.  The thesis modernizes the original
+LeCun architecture with ReLU activations and a softmax output; pooling
+layers halve the spatial size (the table's output shapes imply stride 2).
+389K FP operations and ~60K parameters.
+"""
+
+from __future__ import annotations
+
+from repro.relay.graph import Graph, GraphBuilder
+
+
+def lenet5() -> Graph:
+    """Build the LeNet-5 graph used in every LeNet experiment."""
+    g = GraphBuilder("lenet5")
+    x = g.input((1, 28, 28))
+    x = g.conv2d(x, filters=6, field=3, stride=1, name="conv1")
+    x = g.relu(x)
+    x = g.maxpool(x, field=2, stride=2, name="pool1")
+    x = g.conv2d(x, filters=16, field=3, stride=1, name="conv2")
+    x = g.relu(x)
+    x = g.maxpool(x, field=2, stride=2, name="pool2")
+    x = g.flatten(x, name="flatten")
+    x = g.dense(x, 120, name="dense1")
+    x = g.relu(x)
+    x = g.dense(x, 84, name="dense2")
+    x = g.relu(x)
+    x = g.dense(x, 10, name="dense3")
+    x = g.softmax(x, name="softmax")
+    return g.build()

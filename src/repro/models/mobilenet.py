@@ -1,0 +1,70 @@
+"""MobileNetV1 as deployed in the thesis (Table 2.2).
+
+Input 3x224x224.  Depthwise-separable blocks: 3x3 depthwise + 1x1
+pointwise convolution, ReLU6 activations, global average pooling and a
+1000-way fully-connected classifier.  1x1 convolutions carry 94.9% of
+the multiply-adds — the fact the folded deployment exploits.
+
+Padding appears as explicit nodes (TVM generates separate padding
+kernels); stride-2 'same' convolutions pad asymmetrically (0 before,
+1 after) in TensorFlow convention so output sizes halve exactly.
+"""
+
+from __future__ import annotations
+
+from repro.relay.graph import Graph, GraphBuilder
+
+#: (stride, output channels of the pointwise conv) per separable block
+_BLOCKS = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+]
+
+
+def mobilenet_v1(num_classes: int = 1000, batchnorm: bool = False) -> Graph:
+    """Build the MobileNetV1 graph (alpha=1.0, 224x224 input).
+
+    ``batchnorm=True`` builds the published conv-BN-ReLU6 form (bias-free
+    convolutions with fused inference batch norms); the default bias form
+    matches the thesis's FLOP/parameter accounting.
+    """
+    g = GraphBuilder("mobilenet_v1" + ("_bn" if batchnorm else ""))
+    use_bias = not batchnorm
+
+    def bn(x, name):
+        return g.batchnorm(x, name=name) if batchnorm else x
+
+    x = g.input((3, 224, 224))
+    # stem: 3x3 conv stride 2 ('same': asymmetric 0/1 padding)
+    x = g.pad(x, (0, 1), name="pad_conv1")
+    x = g.conv2d(x, filters=32, field=3, stride=2, bias=use_bias, name="conv1")
+    x = bn(x, "conv1_bn")
+    x = g.relu6(x)
+    for i, (stride, filters) in enumerate(_BLOCKS, start=2):
+        if stride == 2:
+            x = g.pad(x, (0, 1), name=f"pad_conv{i}_dw")
+        else:
+            x = g.pad(x, 1, name=f"pad_conv{i}_dw")
+        x = g.depthwise_conv2d(x, field=3, stride=stride, bias=use_bias,
+                               name=f"conv{i}_dw")
+        x = bn(x, f"conv{i}_dw_bn")
+        x = g.relu6(x)
+        x = g.conv2d(x, filters=filters, field=1, stride=1, bias=use_bias,
+                     name=f"conv{i}")
+        x = bn(x, f"conv{i}_bn")
+        x = g.relu6(x)
+    x = g.global_avgpool(x, name="gap")
+    x = g.dense(x, num_classes, name="fc")
+    x = g.softmax(x, name="softmax")
+    return g.build()

@@ -1,0 +1,142 @@
+"""ResNet-18/34 as deployed in the thesis (Table 2.3), plus ResNet-50.
+
+Input 3x224x224.  Basic residual blocks (two 3x3 convolutions plus an
+identity shortcut); stage transitions use stride-2 convolutions with a
+1x1 projection on the shortcut (the thesis's ResNet kernel inventory in
+Table 6.13 includes exactly these kernels: 7x7 conv, 3x3 conv S=1/S=2,
+1x1 conv, 3x3 pool, softmax).
+
+Padding is explicit (separate pad kernels), asymmetric for stride-2
+'same' convolutions, matching the TensorFlow/Keras convention and the
+thesis's observation that padding kernels consume 8-22% of runtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.relay.graph import Graph, GraphBuilder, OpNode
+
+#: blocks per stage (stage channel widths are 64/128/256/512)
+_STAGES = {18: (2, 2, 2, 2), 34: (3, 4, 6, 3), 50: (3, 4, 6, 3)}
+_WIDTHS = (64, 128, 256, 512)
+#: depths built from bottleneck (1x1 -> 3x3 -> 1x1 expand-by-4) blocks
+_BOTTLENECK_DEPTHS = (50,)
+
+
+def _basic_block(
+    g: GraphBuilder, x: OpNode, filters: int, stride: int, name: str,
+    batchnorm: bool = False,
+) -> OpNode:
+    """Two 3x3 convs + shortcut; stride-2 variants project the shortcut."""
+    use_bias = not batchnorm
+
+    def bn(t, tag):
+        return g.batchnorm(t, name=f"{name}_{tag}") if batchnorm else t
+
+    shortcut = x
+    # projection first so the residual add fuses into the main-branch conv2
+    if stride != 1 or shortcut.out_shape[0] != filters:
+        shortcut = g.conv2d(
+            shortcut, filters=filters, field=1, stride=stride, bias=use_bias,
+            name=f"{name}_proj",
+        )
+        shortcut = bn(shortcut, "bn_proj")
+    if stride == 2:
+        x = g.pad(x, (0, 1), name=f"{name}_pad1")
+    else:
+        x = g.pad(x, 1, name=f"{name}_pad1")
+    y = g.conv2d(x, filters=filters, field=3, stride=stride, bias=use_bias,
+                 name=f"{name}_conv1")
+    y = bn(y, "bn1")
+    y = g.relu(y)
+    y = g.pad(y, 1, name=f"{name}_pad2")
+    y = g.conv2d(y, filters=filters, field=3, stride=1, bias=use_bias,
+                 name=f"{name}_conv2")
+    y = bn(y, "bn2")
+    y = g.add(y, shortcut, name=f"{name}_add")
+    y = g.relu(y)
+    return y
+
+
+def _bottleneck_block(
+    g: GraphBuilder, x: OpNode, filters: int, stride: int, name: str,
+    batchnorm: bool = False,
+) -> OpNode:
+    """1x1 reduce -> 3x3 -> 1x1 expand (x4) + shortcut — the ResNet-50
+    block the thesis's Section 6.6 comparison target (Hadjis et al.) uses."""
+    use_bias = not batchnorm
+    expanded = filters * 4
+
+    def bn(t, tag):
+        return g.batchnorm(t, name=f"{name}_{tag}") if batchnorm else t
+
+    shortcut = x
+    if stride != 1 or shortcut.out_shape[0] != expanded:
+        shortcut = g.conv2d(
+            shortcut, filters=expanded, field=1, stride=stride, bias=use_bias,
+            name=f"{name}_proj",
+        )
+        shortcut = bn(shortcut, "bn_proj")
+    y = g.conv2d(x, filters=filters, field=1, stride=1, bias=use_bias,
+                 name=f"{name}_conv1")
+    y = bn(y, "bn1")
+    y = g.relu(y)
+    if stride == 2:
+        y = g.pad(y, (0, 1), name=f"{name}_pad2")
+    else:
+        y = g.pad(y, 1, name=f"{name}_pad2")
+    y = g.conv2d(y, filters=filters, field=3, stride=stride, bias=use_bias,
+                 name=f"{name}_conv2")
+    y = bn(y, "bn2")
+    y = g.relu(y)
+    y = g.conv2d(y, filters=expanded, field=1, stride=1, bias=use_bias,
+                 name=f"{name}_conv3")
+    y = bn(y, "bn3")
+    y = g.add(y, shortcut, name=f"{name}_add")
+    y = g.relu(y)
+    return y
+
+
+def resnet(depth: int, num_classes: int = 1000, batchnorm: bool = False) -> Graph:
+    """Build ResNet-18/34 (basic blocks) or ResNet-50 (bottlenecks)."""
+    if depth not in _STAGES:
+        raise ReproError(f"unsupported ResNet depth {depth} (18, 34 or 50)")
+    g = GraphBuilder(f"resnet{depth}" + ("_bn" if batchnorm else ""))
+    use_bias = not batchnorm
+    x = g.input((3, 224, 224))
+    # stem: 7x7 s2 'same' (asymmetric 2/3 padding), then 3x3 s2 maxpool
+    x = g.pad(x, (2, 3), name="pad_conv1")
+    x = g.conv2d(x, filters=64, field=7, stride=2, bias=use_bias, name="conv1")
+    if batchnorm:
+        x = g.batchnorm(x, name="conv1_bn")
+    x = g.relu(x)
+    x = g.pad(x, (0, 1), name="pad_pool1")
+    x = g.maxpool(x, field=3, stride=2, name="pool1")
+    block = _bottleneck_block if depth in _BOTTLENECK_DEPTHS else _basic_block
+    for stage, (blocks, filters) in enumerate(zip(_STAGES[depth], _WIDTHS), start=2):
+        for b in range(blocks):
+            stride = 2 if (stage > 2 and b == 0) else 1
+            x = block(g, x, filters, stride, name=f"conv{stage}_{b+1}",
+                      batchnorm=batchnorm)
+    x = g.global_avgpool(x, name="gap")
+    x = g.dense(x, num_classes, name="fc")
+    x = g.softmax(x, name="softmax")
+    return g.build()
+
+
+def resnet18(num_classes: int = 1000) -> Graph:
+    """ResNet-18 (3.66G FP ops, 11.7M parameters in the thesis's count)."""
+    return resnet(18, num_classes)
+
+
+def resnet34(num_classes: int = 1000) -> Graph:
+    """ResNet-34 (7.36G FP ops, 21.8M parameters in the thesis's count)."""
+    return resnet(34, num_classes)
+
+
+def resnet50(num_classes: int = 1000) -> Graph:
+    """ResNet-50 (~7.7G FP ops, ~25.5M parameters) — the network Hadjis
+    et al. benchmark; the thesis compares its ResNet-34 against it."""
+    return resnet(50, num_classes)

@@ -1,0 +1,27 @@
+"""Pure-NumPy reference neural-network operators (ground-truth numerics)."""
+
+from repro.nn.winograd import winograd_conv2d, winograd_savings, winograd_weight_transform
+from repro.nn.functional import (
+    avgpool2d,
+    batchnorm_inference,
+    conv2d,
+    conv2d_out_size,
+    dense,
+    depthwise_conv2d,
+    flatten,
+    fold_batchnorm,
+    global_avgpool,
+    maxpool2d,
+    pad2d,
+    relu,
+    relu6,
+    residual_add,
+    softmax,
+)
+
+__all__ = [
+    "avgpool2d", "batchnorm_inference", "conv2d", "conv2d_out_size", "dense",
+    "depthwise_conv2d", "flatten", "fold_batchnorm", "global_avgpool",
+    "maxpool2d", "pad2d", "relu", "relu6", "residual_add", "softmax",
+    "winograd_conv2d", "winograd_savings", "winograd_weight_transform",
+]

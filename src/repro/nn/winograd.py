@@ -1,0 +1,115 @@
+"""Winograd F(2x2, 3x3) convolution (thesis Section 6.6 context).
+
+DiCecco et al.'s Caffeinated FPGAs — the thesis's first comparison
+target — accelerates single-stride 3x3 convolutions with the Winograd
+transform, which "reduces the number of multiplications in 3x3
+convolutions by a factor of 2.25x" at the price of a larger storage
+footprint and inapplicability to other filter shapes.  The thesis
+discusses but deliberately does not implement it.
+
+This module provides the real algorithm (NumPy, verified against direct
+convolution) so the reproduction can quantify that trade-off:
+:func:`winograd_conv2d` computes F(2x2, 3x3) exactly, and
+:func:`winograd_savings` reports the multiplication/storage accounting
+used by the what-if projection in :mod:`repro.perf.winograd`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_F32 = np.float32
+
+# F(2x2, 3x3) transform matrices (Lavin & Gray, 2016)
+_B_T = np.array(
+    [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=_F32
+)
+_G = np.array(
+    [[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0, 0, 1]], dtype=_F32
+)
+_A_T = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=_F32)
+
+
+def winograd_weight_transform(weight: np.ndarray) -> np.ndarray:
+    """Transform (K, C, 3, 3) filters to the (K, C, 4, 4) Winograd domain."""
+    if weight.ndim != 4 or weight.shape[2:] != (3, 3):
+        raise ReproError("Winograd F(2x2,3x3) needs (K, C, 3, 3) filters")
+    return np.einsum(
+        "ij,kcjl,ml->kcim", _G, weight.astype(_F32), _G, dtype=np.float32
+    ).astype(_F32)
+
+
+def winograd_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    pad: int = 0,
+) -> np.ndarray:
+    """Single-stride 3x3 convolution via Winograd F(2x2, 3x3).
+
+    Bit-for-bit it differs from direct convolution only by floating-point
+    reassociation (the same tolerance the thesis's ``-fp-relaxed`` flag
+    accepts).  Output spatial dims must be even; inputs are padded with
+    zeros on the bottom/right if needed and the result cropped.
+    """
+    if x.ndim != 3:
+        raise ReproError("input must be CHW")
+    c, h, w = x.shape
+    k, cw, f, _ = weight.shape
+    if f != 3:
+        raise ReproError("Winograd F(2x2,3x3) applies to 3x3 filters only")
+    if cw != c:
+        raise ReproError("channel mismatch")
+    xp = np.pad(x, ((0, 0), (pad, pad), (pad, pad))).astype(_F32)
+    ho, wo = xp.shape[1] - 2, xp.shape[2] - 2
+    if ho <= 0 or wo <= 0:
+        raise ReproError("input too small for a 3x3 filter")
+    # round output dims up to multiples of 2 (pad input bottom/right)
+    ho2, wo2 = (ho + 1) // 2 * 2, (wo + 1) // 2 * 2
+    xp = np.pad(xp, ((0, 0), (0, ho2 - ho), (0, wo2 - wo)))
+    th, tw = ho2 // 2, wo2 // 2  # tile grid
+
+    # gather 4x4 input tiles: (C, th, tw, 4, 4)
+    sc, sh, sw = xp.strides
+    tiles = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(c, th, tw, 4, 4),
+        strides=(sc, sh * 2, sw * 2, sh, sw),
+        writeable=False,
+    )
+    # input transform: V = B^T d B
+    v = np.einsum("ij,cthjl,ml->cthim", _B_T, tiles, _B_T, dtype=np.float32)
+    u = winograd_weight_transform(weight)  # (K, C, 4, 4)
+    # elementwise products summed over channels: M = sum_c U . V
+    m = np.einsum("kcim,cthim->kthim", u, v, dtype=np.float32)
+    # output transform: Y = A^T m A -> (K, th, tw, 2, 2)
+    y = np.einsum("ij,kthjl,ml->kthim", _A_T, m, _A_T, dtype=np.float32)
+    out = y.transpose(0, 1, 3, 2, 4).reshape(k, ho2, wo2)[:, :ho, :wo]
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return np.ascontiguousarray(out, dtype=_F32)
+
+
+def winograd_savings(c1: int, k: int, ho: int, wo: int) -> Dict[str, float]:
+    """Multiplication/storage accounting for one 3x3 conv layer.
+
+    Direct: ``K*C*Ho*Wo*9`` multiplications.  Winograd F(2x2,3x3):
+    ``K*C*(Ho/2)*(Wo/2)*16`` — a 2.25x reduction — with a 16/9 larger
+    transformed-filter footprint (the "increased storage footprint" the
+    thesis cites as its reason not to adopt it).
+    """
+    tiles = ((ho + 1) // 2) * ((wo + 1) // 2)
+    direct = k * c1 * ho * wo * 9
+    wino = k * c1 * tiles * 16
+    return {
+        "direct_muls": float(direct),
+        "winograd_muls": float(wino),
+        "mul_reduction": direct / wino,
+        "weight_bytes_direct": float(k * c1 * 9 * 4),
+        "weight_bytes_winograd": float(k * c1 * 16 * 4),
+        "storage_overhead": 16.0 / 9.0,
+    }

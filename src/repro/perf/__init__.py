@@ -1,0 +1,25 @@
+"""Baseline performance models and related-work reference numbers."""
+
+from repro.perf.baselines import (
+    PAPER_ANCHORS,
+    best_cpu_fps,
+    tf_cpu_fps,
+    tf_cudnn_fps,
+    tvm_cpu_fps,
+    tvm_sweep,
+)
+from repro.perf import related_work
+from repro.perf.quantization import (
+    PRECISIONS,
+    PrecisionProjection,
+    precision_sweep,
+    project_precision,
+)
+from repro.perf.winograd import WinogradProjection, layer_accounting, project_winograd
+
+__all__ = [
+    "PAPER_ANCHORS", "PRECISIONS", "PrecisionProjection", "best_cpu_fps",
+    "precision_sweep", "project_precision", "related_work", "tf_cpu_fps",
+    "tf_cudnn_fps", "tvm_cpu_fps", "tvm_sweep", "WinogradProjection",
+    "layer_accounting", "project_winograd",
+]

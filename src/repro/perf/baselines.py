@@ -1,0 +1,115 @@
+"""CPU/GPU baseline throughput models (thesis Section 6.2/6.4).
+
+The thesis compares its FPGA deployments against Keras/TensorFlow on a
+dual Xeon 8280 (``TF-CPU``), TVM's LLVM backend with an n-thread sweep
+(``TVM-nT``), and TensorFlow+cuDNN on a GTX 1060 (``TF-cuDNN``).  We
+cannot re-run that hardware, so this module provides **calibrated
+analytic models**: single-thread throughput anchored to the thesis's
+published measurements, and an Amdahl-style thread-scaling curve fitted
+through the published multi-thread endpoints:
+
+``fps(t) = fps1 * t / (1 + sigma * (t - 1))``
+
+with ``sigma`` the serialization fraction per network.  LeNet is modelled
+with its observed *negative* scaling (the thesis: "We observe a decrease
+in performance as the number of threads increase").  See DESIGN.md's
+substitution table; EXPERIMENTS.md records these as reference inputs,
+not as reproduced measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BaselineAnchors:
+    """Published reference FPS for one network (thesis Tables 6.10/6.12/6.15)."""
+
+    tf_cpu: float  #: Keras/TensorFlow, default thread pool
+    tvm_1t: float  #: TVM LLVM backend, one thread
+    tvm_best: float  #: TVM at its best measured thread count
+    tvm_best_threads: int
+    tf_cudnn: float  #: TensorFlow + cuDNN on the GTX 1060
+
+
+#: thesis-published baseline numbers per network
+PAPER_ANCHORS: Dict[str, BaselineAnchors] = {
+    "lenet5": BaselineAnchors(
+        tf_cpu=1075.0, tvm_1t=2345.0, tvm_best=2345.0, tvm_best_threads=1,
+        tf_cudnn=1604.0,
+    ),
+    "mobilenet_v1": BaselineAnchors(
+        tf_cpu=21.6, tvm_1t=15.6, tvm_best=90.1, tvm_best_threads=56,
+        tf_cudnn=43.7,
+    ),
+    "resnet18": BaselineAnchors(
+        tf_cpu=16.3, tvm_1t=5.8, tvm_best=54.3, tvm_best_threads=56,
+        tf_cudnn=46.5,
+    ),
+    "resnet34": BaselineAnchors(
+        tf_cpu=10.7, tvm_1t=1.2, tvm_best=13.7, tvm_best_threads=56,
+        tf_cudnn=31.7,
+    ),
+}
+
+
+def _anchors(network: str) -> BaselineAnchors:
+    try:
+        return PAPER_ANCHORS[network]
+    except KeyError:
+        raise ReproError(
+            f"no baseline anchors for network {network!r}; "
+            f"known: {sorted(PAPER_ANCHORS)}"
+        ) from None
+
+
+def tf_cpu_fps(network: str) -> float:
+    """Keras/TensorFlow CPU throughput (default thread pool)."""
+    return _anchors(network).tf_cpu
+
+
+def tf_cudnn_fps(network: str) -> float:
+    """TensorFlow + cuDNN throughput on the GTX 1060."""
+    return _anchors(network).tf_cudnn
+
+
+def _sigma(a: BaselineAnchors) -> float:
+    """Serialization fraction solving the Amdahl curve through the
+    published best-thread-count endpoint."""
+    t = a.tvm_best_threads
+    if t <= 1:
+        return 1.0
+    speedup = a.tvm_best / a.tvm_1t
+    # fps(t)/fps(1) = t / (1 + sigma (t-1))  =>  sigma = (t/speedup - 1)/(t-1)
+    return max(0.0, (t / speedup - 1.0) / (t - 1.0))
+
+
+def tvm_cpu_fps(network: str, threads: int) -> float:
+    """TVM LLVM-backend CPU throughput at a given thread count.
+
+    LeNet's curve is decreasing (measured in the thesis); the large
+    networks follow the fitted Amdahl curve.
+    """
+    if threads < 1:
+        raise ReproError("thread count must be >= 1")
+    a = _anchors(network)
+    if network == "lenet5":
+        # small layers: extra threads only add synchronization cost
+        return a.tvm_1t / (1.0 + 0.35 * (threads - 1) ** 0.7)
+    sigma = _sigma(a)
+    return a.tvm_1t * threads / (1.0 + sigma * (threads - 1))
+
+
+def tvm_sweep(network: str, thread_counts=(1, 2, 4, 8, 16, 32, 56)) -> Dict[int, float]:
+    """The TVM-nT sweep series plotted in Figures 6.4-6.7."""
+    return {t: tvm_cpu_fps(network, t) for t in thread_counts}
+
+
+def best_cpu_fps(network: str) -> float:
+    """Best CPU configuration the thesis compares against."""
+    a = _anchors(network)
+    return max(a.tf_cpu, a.tvm_best)

@@ -1,0 +1,105 @@
+"""Published numbers of the three related works the thesis compares to
+(Tables 6.17, 6.18, 6.19).
+
+These are the literature-reported values (DiCecco et al.'s Caffeinated
+FPGAs, Hadjis et al.'s TensorFlow-to-Cloud-FPGAs, Sharma et al.'s
+DNNWeaver); the comparison benches pair them with the numbers measured
+from *our* deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RelatedWorkEntry:
+    """One published accelerator result used in a comparison table."""
+
+    work: str
+    workload: str
+    platform: str
+    total_dsps: int
+    precision: str
+    batch: int
+    fmax_mhz: Optional[float]
+    gflops: Optional[float]
+    latency_ms: Optional[float] = None
+    dsp_util_pct: Optional[float] = None
+    note: str = ""
+
+
+CAFFEINATED_FPGAS = RelatedWorkEntry(
+    work="DiCecco et al. (Caffeinated FPGAs)",
+    workload="geomean 3x3 convs in AlexNet/VGG-A/Overfeat/GoogLeNet",
+    platform="Virtex 7 XC7VX690T-2",
+    total_dsps=3600,
+    precision="32b float",
+    batch=64,
+    fmax_mhz=200.0,
+    gflops=50.0,
+    dsp_util_pct=36.3,
+    note="Winograd convolution engine; effective GFLOPS assume direct conv",
+)
+
+HADJIS_LENET = RelatedWorkEntry(
+    work="Hadjis et al. (TF to Cloud FPGAs)",
+    workload="LeNet",
+    platform="Xilinx UltraScale+ VU9P",
+    total_dsps=6840,
+    precision="32b fixed",
+    batch=1,
+    fmax_mhz=125.0,
+    gflops=3.49,
+    latency_ms=0.656,
+    dsp_util_pct=26.7,
+    note="Spatial hardware-IR flow; FP-op count differs from ours (2.29M vs 389K)",
+)
+
+HADJIS_RESNET50 = RelatedWorkEntry(
+    work="Hadjis et al. (TF to Cloud FPGAs)",
+    workload="ResNet-50",
+    platform="Xilinx UltraScale+ VU9P",
+    total_dsps=6840,
+    precision="32b fixed",
+    batch=1,
+    fmax_mhz=125.0,
+    gflops=36.1,
+    latency_ms=216.0,
+    dsp_util_pct=87.8,
+)
+
+DNNWEAVER_LENET = RelatedWorkEntry(
+    work="Sharma et al. (DNNWeaver)",
+    workload="LeNet",
+    platform="Arria 10 GX",
+    total_dsps=1518,
+    precision="16b fixed",
+    batch=1,
+    fmax_mhz=200.0,
+    gflops=None,
+    dsp_util_pct=94.86,
+    note="Reports 12x speedup over a 4-core Xeon E3 with Caffe",
+)
+
+DNNWEAVER_ALEXNET = RelatedWorkEntry(
+    work="Sharma et al. (DNNWeaver)",
+    workload="AlexNet",
+    platform="Arria 10 GX",
+    total_dsps=1518,
+    precision="16b fixed",
+    batch=1,
+    fmax_mhz=200.0,
+    gflops=184.33,
+    dsp_util_pct=88.54,
+    note="GFLOPS as reported in the Venieris et al. survey",
+)
+
+ALL_RELATED = (
+    CAFFEINATED_FPGAS,
+    HADJIS_LENET,
+    HADJIS_RESNET50,
+    DNNWEAVER_LENET,
+    DNNWEAVER_ALEXNET,
+)

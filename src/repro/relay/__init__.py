@@ -1,0 +1,11 @@
+"""Graph-level IR, operator fusion and functional execution."""
+
+from repro.relay.graph import ANCHOR_OPS, Graph, GraphBuilder, INJECTIVE_OPS, OpNode
+from repro.relay.passes import FusedGraph, FusedNode, fuse_operators
+from repro.relay.execute import init_params, run_fused_graph, run_graph
+
+__all__ = [
+    "ANCHOR_OPS", "FusedGraph", "FusedNode", "Graph", "GraphBuilder",
+    "INJECTIVE_OPS", "OpNode", "fuse_operators", "init_params",
+    "run_fused_graph", "run_graph",
+]

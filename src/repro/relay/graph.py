@@ -1,0 +1,373 @@
+"""Graph-level IR: the reproduction's Relay.
+
+A :class:`Graph` is a DAG of :class:`OpNode` operations with inferred
+shapes.  Networks are built through :class:`GraphBuilder` (the moral
+equivalent of importing a frozen model through TVM's frontend,
+thesis Section 3.1).  Tensors are CHW with an implicit N=1 batch.
+
+The operator vocabulary covers everything LeNet-5, MobileNetV1 and
+ResNet-18/34 need: conv2d, depthwise conv, dense, max/avg pooling,
+global average pooling, softmax, flatten, zero padding, ReLU/ReLU6,
+bias add, inference batch norm and residual add.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.nn.functional import conv2d_out_size
+
+Shape = Tuple[int, ...]
+
+#: ops that are injective/elementwise and fusable into a producer
+INJECTIVE_OPS = ("relu", "relu6", "bias_add", "batchnorm", "add")
+
+#: ops that anchor a kernel (complex ops in TVM fusion terminology)
+ANCHOR_OPS = (
+    "conv2d",
+    "depthwise_conv2d",
+    "dense",
+    "maxpool",
+    "avgpool",
+    "global_avgpool",
+    "softmax",
+    "flatten",
+    "pad",
+)
+
+ALL_OPS = ("input",) + ANCHOR_OPS + INJECTIVE_OPS
+
+
+class OpNode:
+    """One operation in the graph."""
+
+    def __init__(
+        self,
+        name: str,
+        op: str,
+        inputs: Sequence["OpNode"],
+        attrs: Optional[Dict[str, object]] = None,
+        out_shape: Optional[Shape] = None,
+    ) -> None:
+        if op not in ALL_OPS:
+            raise ReproError(f"unknown op {op!r}")
+        self.name = name
+        self.op = op
+        self.inputs: Tuple[OpNode, ...] = tuple(inputs)
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.out_shape: Shape = out_shape if out_shape is not None else ()
+
+    # -- parameters -----------------------------------------------------
+    def weight_shapes(self) -> Dict[str, Shape]:
+        """Parameter tensors owned by this node (name suffix -> shape)."""
+        a = self.attrs
+        if self.op == "conv2d":
+            c1 = self.inputs[0].out_shape[0]
+            shapes = {"weight": (a["filters"], c1, a["field"], a["field"])}
+            if a.get("bias", True):
+                shapes["bias"] = (a["filters"],)
+            return shapes
+        if self.op == "depthwise_conv2d":
+            c = self.inputs[0].out_shape[0]
+            shapes = {"weight": (c, 1, a["field"], a["field"])}
+            if a.get("bias", True):
+                shapes["bias"] = (c,)
+            return shapes
+        if self.op == "dense":
+            c1 = self.inputs[0].out_shape[0]
+            shapes = {"weight": (a["units"], c1)}
+            if a.get("bias", True):
+                shapes["bias"] = (a["units"],)
+            return shapes
+        if self.op == "batchnorm":
+            c = self.out_shape[0]
+            return {"gamma": (c,), "beta": (c,), "mean": (c,), "var": (c,)}
+        return {}
+
+    def num_params(self) -> int:
+        """Trainable parameter count of this node."""
+        total = 0
+        for shape in self.weight_shapes().values():
+            n = 1
+            for d in shape:
+                n *= d
+            total += n
+        return total
+
+    def flops(self) -> int:
+        """Floating-point operations (mul and add counted separately,
+        thesis Section 6.1.2) for one forward pass of this node."""
+        a = self.attrs
+        if self.op == "conv2d":
+            k, ho, wo = self.out_shape
+            c1 = self.inputs[0].out_shape[0]
+            return 2 * k * ho * wo * c1 * a["field"] * a["field"]
+        if self.op == "depthwise_conv2d":
+            c, ho, wo = self.out_shape
+            return 2 * c * ho * wo * a["field"] * a["field"]
+        if self.op == "dense":
+            (m,) = self.out_shape
+            c1 = self.inputs[0].out_shape[0]
+            return 2 * m * c1
+        if self.op in ("maxpool", "avgpool"):
+            c, ho, wo = self.out_shape
+            return c * ho * wo * a["field"] * a["field"]
+        if self.op == "global_avgpool":
+            c, h, w = self.inputs[0].out_shape
+            return c * h * w
+        if self.op == "softmax":
+            (n,) = self.out_shape
+            return 4 * n  # max, sub+exp, sum, div
+        if self.op in ("relu", "relu6", "bias_add", "add", "batchnorm"):
+            n = 1
+            for d in self.out_shape:
+                n *= d
+            return n * (2 if self.op == "batchnorm" else 1)
+        return 0
+
+    def __repr__(self) -> str:
+        return f"OpNode({self.name}: {self.op} -> {self.out_shape})"
+
+
+class Graph:
+    """A DAG of op nodes in topological order (inputs first)."""
+
+    def __init__(self, nodes: Sequence[OpNode], name: str = "net") -> None:
+        self.name = name
+        self.nodes: List[OpNode] = list(nodes)
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ReproError("duplicate node names in graph")
+        self._by_name = {n.name: n for n in self.nodes}
+        # topological sanity: inputs must precede users
+        seen = set()
+        for n in self.nodes:
+            for i in n.inputs:
+                if i.name not in seen:
+                    raise ReproError(
+                        f"graph not topologically ordered: {n.name} uses "
+                        f"{i.name} before it is defined"
+                    )
+            seen.add(n.name)
+
+    def __getitem__(self, name: str) -> OpNode:
+        return self._by_name[name]
+
+    def __iter__(self) -> Iterable[OpNode]:
+        return iter(self.nodes)
+
+    @property
+    def input(self) -> OpNode:
+        ins = [n for n in self.nodes if n.op == "input"]
+        if len(ins) != 1:
+            raise ReproError("graph must have exactly one input")
+        return ins[0]
+
+    @property
+    def output(self) -> OpNode:
+        return self.nodes[-1]
+
+    def total_flops(self) -> int:
+        """Total FLOPs of one forward pass."""
+        return sum(n.flops() for n in self.nodes)
+
+    def total_params(self) -> int:
+        """Total trainable parameters."""
+        return sum(n.num_params() for n in self.nodes)
+
+    def param_shapes(self) -> Dict[str, Shape]:
+        """All parameter tensors: '<node>.<suffix>' -> shape."""
+        out: Dict[str, Shape] = {}
+        for n in self.nodes:
+            for suffix, shape in n.weight_shapes().items():
+                out[f"{n.name}.{suffix}"] = shape
+        return out
+
+    def consumers(self, node: OpNode) -> List[OpNode]:
+        return [n for n in self.nodes if node in n.inputs]
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name}, {len(self.nodes)} nodes)"
+
+
+class GraphBuilder:
+    """Fluent builder for networks (the model-definition frontend)."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.nodes: List[OpNode] = []
+        self._counter: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _name(self, base: str, given: Optional[str]) -> str:
+        if given is not None:
+            return given
+        i = self._counter.get(base, 0) + 1
+        self._counter[base] = i
+        return f"{base}{i}"
+
+    def _add(self, node: OpNode) -> OpNode:
+        self.nodes.append(node)
+        return node
+
+    # -- ops -------------------------------------------------------------
+    def input(self, shape: Shape, name: str = "data") -> OpNode:
+        return self._add(OpNode(name, "input", [], out_shape=tuple(shape)))
+
+    def pad(self, x: OpNode, pad, name: Optional[str] = None) -> OpNode:
+        """Explicit zero-padding node (int or (before, after) pair).
+
+        TVM emits padding as its own kernel, so models here carry explicit
+        pad nodes; conv nodes always receive pre-padded inputs (pad=0).
+        """
+        c, h, w = x.out_shape
+        before, after = (pad, pad) if isinstance(pad, int) else tuple(pad)
+        total = before + after
+        return self._add(
+            OpNode(
+                self._name("pad", name),
+                "pad",
+                [x],
+                {"pad": (before, after)},
+                (c, h + total, w + total),
+            )
+        )
+
+    def conv2d(
+        self,
+        x: OpNode,
+        filters: int,
+        field: int,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ) -> OpNode:
+        c, h, w = x.out_shape
+        ho = conv2d_out_size(h, field, stride, pad)
+        wo = conv2d_out_size(w, field, stride, pad)
+        return self._add(
+            OpNode(
+                self._name("conv", name),
+                "conv2d",
+                [x],
+                {
+                    "filters": filters,
+                    "field": field,
+                    "stride": stride,
+                    "pad": pad,
+                    "bias": bias,
+                },
+                (filters, ho, wo),
+            )
+        )
+
+    def depthwise_conv2d(
+        self,
+        x: OpNode,
+        field: int,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ) -> OpNode:
+        c, h, w = x.out_shape
+        ho = conv2d_out_size(h, field, stride, pad)
+        wo = conv2d_out_size(w, field, stride, pad)
+        return self._add(
+            OpNode(
+                self._name("dwconv", name),
+                "depthwise_conv2d",
+                [x],
+                {"field": field, "stride": stride, "pad": pad, "bias": bias},
+                (c, ho, wo),
+            )
+        )
+
+    def maxpool(self, x: OpNode, field: int, stride: int, name: Optional[str] = None) -> OpNode:
+        c, h, w = x.out_shape
+        ho = (h - field) // stride + 1
+        wo = (w - field) // stride + 1
+        return self._add(
+            OpNode(
+                self._name("pool", name),
+                "maxpool",
+                [x],
+                {"field": field, "stride": stride},
+                (c, ho, wo),
+            )
+        )
+
+    def avgpool(self, x: OpNode, field: int, stride: int, name: Optional[str] = None) -> OpNode:
+        c, h, w = x.out_shape
+        ho = (h - field) // stride + 1
+        wo = (w - field) // stride + 1
+        return self._add(
+            OpNode(
+                self._name("pool", name),
+                "avgpool",
+                [x],
+                {"field": field, "stride": stride},
+                (c, ho, wo),
+            )
+        )
+
+    def global_avgpool(self, x: OpNode, name: Optional[str] = None) -> OpNode:
+        c, _, _ = x.out_shape
+        return self._add(
+            OpNode(self._name("gap", name), "global_avgpool", [x], {}, (c,))
+        )
+
+    def flatten(self, x: OpNode, name: Optional[str] = None) -> OpNode:
+        n = 1
+        for d in x.out_shape:
+            n *= d
+        return self._add(OpNode(self._name("flatten", name), "flatten", [x], {}, (n,)))
+
+    def dense(
+        self, x: OpNode, units: int, bias: bool = True, name: Optional[str] = None
+    ) -> OpNode:
+        if len(x.out_shape) != 1:
+            raise ReproError("dense input must be flattened first")
+        return self._add(
+            OpNode(
+                self._name("dense", name),
+                "dense",
+                [x],
+                {"units": units, "bias": bias},
+                (units,),
+            )
+        )
+
+    def relu(self, x: OpNode, name: Optional[str] = None) -> OpNode:
+        return self._add(OpNode(self._name("relu", name), "relu", [x], {}, x.out_shape))
+
+    def relu6(self, x: OpNode, name: Optional[str] = None) -> OpNode:
+        return self._add(OpNode(self._name("relu6", name), "relu6", [x], {}, x.out_shape))
+
+    def batchnorm(self, x: OpNode, name: Optional[str] = None) -> OpNode:
+        """Inference-time batch normalization over channels (fused into
+        the producing convolution by the operator-fusion pass)."""
+        if len(x.out_shape) != 3:
+            raise ReproError("batchnorm expects a CHW tensor")
+        return self._add(
+            OpNode(self._name("bn", name), "batchnorm", [x], {}, x.out_shape)
+        )
+
+    def add(self, x: OpNode, y: OpNode, name: Optional[str] = None) -> OpNode:
+        if x.out_shape != y.out_shape:
+            raise ReproError(
+                f"add shape mismatch: {x.out_shape} vs {y.out_shape}"
+            )
+        return self._add(OpNode(self._name("add", name), "add", [x, y], {}, x.out_shape))
+
+    def softmax(self, x: OpNode, name: Optional[str] = None) -> OpNode:
+        if len(x.out_shape) != 1:
+            raise ReproError("softmax input must be 1-D")
+        return self._add(
+            OpNode(self._name("softmax", name), "softmax", [x], {}, x.out_shape)
+        )
+
+    def build(self) -> Graph:
+        return Graph(self.nodes, self.name)

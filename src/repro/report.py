@@ -1,0 +1,120 @@
+"""One-shot reproduction report: ``python -m repro.report``.
+
+Regenerates the headline results of every evaluation section — the LeNet
+optimization ladder, the MobileNet/ResNet folded deployments, baseline
+comparisons and fit/route failures — and renders them with ASCII charts.
+For the full per-table benches, run ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, TextIO
+
+from repro.device import ALL_BOARDS, ARRIA10, STRATIX10_SX
+from repro.errors import FitError, RoutingError
+from repro.flow import LEVELS, deploy_folded, deploy_pipelined
+from repro.perf import tf_cpu_fps, tf_cudnn_fps, tvm_cpu_fps
+from repro.viz import bar_chart
+
+
+def _section(out: TextIO, title: str) -> None:
+    out.write(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n")
+
+
+def lenet_ladder(out: TextIO) -> Dict[str, float]:
+    _section(out, "LeNet-5 optimization ladder (Fig 6.1 / Table 6.4)")
+    final: Dict[str, float] = {}
+    for board in ALL_BOARDS:
+        labels, values = [], []
+        for level in LEVELS:
+            d = deploy_pipelined("lenet5", board, level)
+            labels.append(level)
+            values.append(d.fps(concurrent=True))
+        final[board.name] = values[-1]
+        out.write(
+            bar_chart(f"\n{board.name} (FPS, concurrent execution)", labels,
+                      values) + "\n"
+        )
+    return final
+
+
+def folded_networks(out: TextIO) -> Dict[str, Dict[str, Optional[float]]]:
+    _section(out, "Folded deployments (Tables 6.11/6.14)")
+    results: Dict[str, Dict[str, Optional[float]]] = {}
+    for net in ("mobilenet_v1", "resnet18", "resnet34", "resnet50"):
+        row: Dict[str, Optional[float]] = {}
+        for board in ALL_BOARDS:
+            try:
+                row[board.name] = deploy_folded(net, board).fps()
+            except (FitError, RoutingError):
+                row[board.name] = None
+        results[net] = row
+        cells = ", ".join(
+            f"{b}: {'no fit' if v is None else f'{v:.2f} FPS'}"
+            for b, v in row.items()
+        )
+        out.write(f"{net:14s} {cells}\n")
+    return results
+
+
+def baseline_comparison(out: TextIO, lenet_fps: float,
+                        folded: Dict[str, Dict[str, Optional[float]]]) -> None:
+    _section(out, "Versus CPU/GPU baselines (thesis-published reference FPS)")
+    rows = [
+        ("lenet5", lenet_fps),
+        ("mobilenet_v1", folded["mobilenet_v1"]["S10SX"]),
+        ("resnet18", folded["resnet18"]["S10SX"]),
+        ("resnet34", folded["resnet34"]["S10SX"]),
+    ]
+    out.write(
+        f"{'network':14s} {'FPGA(S10SX)':>12} {'TF-CPU':>9} {'TVM-1T':>9} "
+        f"{'GPU':>9}  verdict\n"
+    )
+    for net, fps in rows:
+        assert fps is not None
+        cpu = tf_cpu_fps(net)
+        verdict = "FPGA wins" if fps > cpu else "CPU wins"
+        out.write(
+            f"{net:14s} {fps:12.1f} {cpu:9.1f} "
+            f"{tvm_cpu_fps(net, 1):9.1f} {tf_cudnn_fps(net):9.1f}  {verdict}\n"
+        )
+
+
+def fit_failures(out: TextIO) -> List[str]:
+    _section(out, "Fit / routing failures (the thesis's negative results)")
+    cases = [
+        ("naive MobileNet on A10", "mobilenet_v1", ARRIA10, True),
+        ("naive ResNet-18 on A10", "resnet18", ARRIA10, True),
+        ("optimized ResNet-18 on A10", "resnet18", ARRIA10, False),
+    ]
+    outcomes = []
+    for label, net, board, naive in cases:
+        try:
+            deploy_folded(net, board, naive=naive)
+            result = "FITS (mismatch with the thesis!)"
+        except (FitError, RoutingError) as e:
+            result = type(e).__name__
+        outcomes.append(result)
+        out.write(f"{label:32s} -> {result}\n")
+    return outcomes
+
+
+def main(out: TextIO = sys.stdout) -> int:
+    out.write("Reproduction report — Chung, 'Optimization of Compiler-"
+              "Generated OpenCL CNN Kernels and Runtime for FPGAs'\n")
+    final = lenet_ladder(out)
+    folded = folded_networks(out)
+    baseline_comparison(out, final["S10SX"], folded)
+    outcomes = fit_failures(out)
+    ok = all("Error" in o for o in outcomes)
+    out.write(
+        "\nSummary: LeNet/MobileNet beat the CPU, ResNet does not; naive "
+        "large networks do not fit the Arria 10 — the thesis's story "
+        f"{'reproduces' if ok else 'DOES NOT reproduce'}.\n"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

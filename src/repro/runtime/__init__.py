@@ -1,0 +1,32 @@
+"""OpenCL host-runtime simulation: plans, timing, event profiling."""
+
+from repro.runtime.plan import (
+    FoldedPlan,
+    Invocation,
+    PipelinePlan,
+    PipelineStage,
+)
+from repro.runtime.simulate import (
+    RunResult,
+    event_profile,
+    per_op_profile,
+    simulate_folded,
+    simulate_pipelined,
+)
+from repro.runtime.opencl import (
+    CLBuffer,
+    CLEvent,
+    CommandQueue,
+    SimContext,
+    run_folded_event,
+    run_pipelined_event,
+)
+from repro.runtime.executor import run_folded_functional, run_pipelined_functional
+
+__all__ = [
+    "CLBuffer", "CLEvent", "CommandQueue", "FoldedPlan", "Invocation",
+    "PipelinePlan", "PipelineStage", "RunResult", "SimContext",
+    "event_profile", "per_op_profile", "run_folded_event", "run_pipelined_event",
+    "run_folded_functional", "run_pipelined_functional", "simulate_folded",
+    "simulate_pipelined",
+]

@@ -1,0 +1,208 @@
+"""Discrete-time execution model of the OpenCL host runtime.
+
+Costs one inference (or the steady-state throughput over many) for a
+deployment plan against a compiled bitstream:
+
+* **serial execution** (one in-order command queue): kernel times, host
+  enqueue overheads and transfers add up per image (thesis §6.3.1's
+  non-[CE] bars);
+* **concurrent execution** (one queue per kernel + channels): the layer
+  pipeline overlaps across stages and images, so steady-state throughput
+  is set by the slowest of (bottleneck stage, host enqueue serialization,
+  input/output transfers) — the [CE] bars;
+* autorun kernels cost no host interaction at all (§4.7).
+
+Event profiling (Fig 6.2) is modelled by per-image kernel/write/read time
+totals, with the thesis's observation that enabling the profiler forces
+serial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.aoc.compiler import Bitstream
+from repro.device.boards import Board
+from repro.device.transfer import d2h_time_us, h2d_time_us
+from repro.runtime.plan import FoldedPlan, Invocation, PipelinePlan
+
+__all__ = [
+    "RunResult",
+    "simulate_pipelined",
+    "simulate_folded",
+    "event_profile",
+]
+
+
+@dataclass
+class RunResult:
+    """Timing outcome of a simulated deployment."""
+
+    time_per_image_us: float
+    fps: float
+    #: per-stage / per-invocation device times, microseconds
+    stage_times_us: Dict[str, float] = field(default_factory=dict)
+    #: host-side overhead per image, microseconds
+    host_overhead_us: float = 0.0
+    #: transfer times per image, microseconds
+    write_us: float = 0.0
+    read_us: float = 0.0
+
+    def gflops(self, flops_per_image: int) -> float:
+        """Achieved GFLOPS given the network's per-image FLOP count."""
+        return flops_per_image / (self.time_per_image_us * 1e3)
+
+
+def _stage_device_time(bs: Bitstream, stage) -> float:
+    return bs.kernel_time_us(stage.kernel_name)
+
+
+def simulate_pipelined(
+    bs: Bitstream,
+    plan: PipelinePlan,
+    concurrent: bool,
+) -> RunResult:
+    """Cost a pipelined deployment (LeNet-style).
+
+    ``concurrent=False`` models a single in-order command queue;
+    ``concurrent=True`` models one queue per kernel with channel/event
+    synchronization.
+    """
+    c = bs.constants
+    board = bs.board
+    write_us = h2d_time_us(board, plan.input_bytes)
+    read_us = d2h_time_us(board, plan.output_bytes)
+
+    stage_times = {s.layer: _stage_device_time(bs, s) for s in plan.stages}
+    n_enqueued = sum(1 for s in plan.stages if not s.autorun)
+    enqueue_us = n_enqueued * board.enqueue_overhead_us
+    launch_us = n_enqueued * c.launch_latency_us
+
+    if not concurrent:
+        total = (
+            write_us
+            + read_us
+            + sum(stage_times.values())
+            + enqueue_us
+            + launch_us
+        )
+        return RunResult(
+            time_per_image_us=total,
+            fps=1e6 / total,
+            stage_times_us=stage_times,
+            host_overhead_us=enqueue_us + launch_us,
+            write_us=write_us,
+            read_us=read_us,
+        )
+
+    # concurrent: throughput set by the slowest resource in steady state.
+    # Without channels the layer chain of ONE image is still serial
+    # (global-memory dependencies), but successive images overlap — the
+    # bottleneck is the whole chain divided by the overlap the queues
+    # provide... in practice dependent kernels cannot overlap within an
+    # image, so only transfers/launches hide; with channels every stage is
+    # a true pipeline stage.
+    if plan.uses_channels:
+        stage_eff = _coupled_stage_times(bs, plan, stage_times)
+        bottleneck = max(
+            max(stage_eff.values()),
+            enqueue_us,  # host serializes one image's enqueues
+            write_us,
+            read_us,
+        )
+    else:
+        device_chain = sum(stage_times.values()) + launch_us
+        bottleneck = max(device_chain, enqueue_us, write_us, read_us)
+    return RunResult(
+        time_per_image_us=bottleneck,
+        fps=1e6 / bottleneck,
+        stage_times_us=stage_times,
+        host_overhead_us=enqueue_us,
+        write_us=write_us,
+        read_us=read_us,
+    )
+
+
+def simulate_folded(bs: Bitstream, plan: FoldedPlan) -> RunResult:
+    """Cost a folded deployment (MobileNet/ResNet-style, serial queue)."""
+    c = bs.constants
+    board = bs.board
+    write_us = h2d_time_us(board, plan.input_bytes)
+    read_us = d2h_time_us(board, plan.output_bytes)
+    stage_times: Dict[str, float] = {}
+    device_us = 0.0
+    for inv in plan.invocations:
+        t = bs.kernel_time_us(inv.kernel_name, inv.bindings)
+        stage_times[inv.layer] = t
+        device_us += t
+    host = len(plan.invocations) * (board.enqueue_overhead_us + c.launch_latency_us)
+    total = write_us + read_us + device_us + host
+    return RunResult(
+        time_per_image_us=total,
+        fps=1e6 / total,
+        stage_times_us=stage_times,
+        host_overhead_us=host,
+        write_us=write_us,
+        read_us=read_us,
+    )
+
+
+def _coupled_stage_times(
+    bs: Bitstream, plan: PipelinePlan, stage_times: Dict[str, float]
+) -> Dict[str, float]:
+    """Channel back-pressure (§4.6): a FIFO shallower than the producer's
+    output couples neighbouring stages — the producer stalls on a full
+    channel for the fraction of its output the FIFO cannot absorb, so
+    that fraction of the *slower* neighbour's time bleeds into both.
+    Depth >= OFM (the §4.11 sizing rule) decouples them completely."""
+    eff = dict(stage_times)
+    stages = plan.stages
+    for producer, consumer in zip(stages, stages[1:]):
+        if not producer.channel_out or producer.output_elems <= 0:
+            continue
+        uncovered = 1.0 - min(1.0, producer.channel_depth / producer.output_elems)
+        if uncovered <= 0.0:
+            continue
+        tp = stage_times[producer.layer]
+        tc = stage_times[consumer.layer]
+        slower_layer = producer.layer if tp >= tc else consumer.layer
+        # the slower stage absorbs stall time proportional to the faster
+        # neighbour's work it can no longer overlap with
+        penalty = 0.5 * uncovered * min(tp, tc)
+        eff[slower_layer] = eff[slower_layer] + penalty
+    return eff
+
+
+def event_profile(result: RunResult) -> Dict[str, float]:
+    """Fig 6.2-style breakdown: kernel / write / read / overhead (us)."""
+    kernel_us = sum(result.stage_times_us.values())
+    return {
+        "kernel_us": kernel_us,
+        "write_us": result.write_us,
+        "read_us": result.read_us,
+        "overhead_us": result.host_overhead_us,
+    }
+
+
+def per_op_profile(
+    bs: Bitstream, plan: FoldedPlan
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate folded-invocation times and GFLOPS by operation label.
+
+    Reproduces the thesis's Tables 6.8/6.16 (per-op average GFLOPS and
+    share of runtime).
+    """
+    agg: Dict[str, Dict[str, float]] = {}
+    for inv in plan.invocations:
+        t = bs.kernel_time_us(inv.kernel_name, inv.bindings)
+        row = agg.setdefault(inv.op_label, {"time_us": 0.0, "flops": 0.0})
+        row["time_us"] += t
+        row["flops"] += inv.flops
+    total_time = sum(r["time_us"] for r in agg.values())
+    for row in agg.values():
+        row["gflops"] = (
+            row["flops"] / (row["time_us"] * 1e3) if row["time_us"] > 0 else 0.0
+        )
+        row["time_share"] = row["time_us"] / total_time if total_time else 0.0
+    return agg

@@ -1,0 +1,6 @@
+"""Schedule primitives and lowering (the reproduction's mini-TVM scheduler)."""
+
+from repro.schedule.schedule import Schedule, SplitRel, Stage, create_schedule
+from repro.schedule.lower import lower
+
+__all__ = ["Schedule", "SplitRel", "Stage", "create_schedule", "lower"]

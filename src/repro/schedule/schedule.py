@@ -1,0 +1,265 @@
+"""Schedules: loop-level transformation plans for compute ops.
+
+This reproduces the TVM schedule primitives the thesis applies in
+Chapter 5: ``split`` (strip mining, §4.2), ``tile`` (multi-dim strip
+mining), ``reorder``, ``unroll`` (§4.1), ``cache_write``/``set_scope``
+(cached writes, §4.5), ``writeback_at`` (the axis at which the
+activation/writeback stage is computed — loop fusion per §4.3 is the act
+of moving it inward so the epilogue lives in the main nest), and
+``cache_read`` (read caches, §5.1.1).
+
+A :class:`Stage` owns an ordered *leaf axis list* mixing data and reduce
+axes.  Lowering (:mod:`repro.schedule.lower`) interprets that list as:
+
+* all leaf axes up to and including ``writeback_axis`` are *outer* loops;
+* the remaining axes form the *accumulation region*; data axes inside the
+  region define the accumulator tile (the ``tmp[W_2vec]`` arrays of
+  Listings 5.3/5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ScheduleError
+from repro.ir import expr as _e
+from repro.ir.tensor import ComputeOp, IterVar, Tensor
+
+
+class SplitRel:
+    """Record of one split: parent -> (outer, inner) with a factor."""
+
+    __slots__ = ("parent", "outer", "inner", "factor")
+
+    def __init__(self, parent: IterVar, outer: IterVar, inner: IterVar, factor: int) -> None:
+        self.parent = parent
+        self.outer = outer
+        self.inner = inner
+        self.factor = factor
+
+
+class Stage:
+    """Schedule state for one compute op."""
+
+    def __init__(self, op: ComputeOp) -> None:
+        self.op = op
+        #: interleaved leaf order; starts as data axes then reduce axes
+        self.leaf_axes: List[IterVar] = list(op.axes) + list(op.reduce_axes)
+        self.splits: List[SplitRel] = []
+        self.unrolled: Dict[IterVar, Optional[int]] = {}
+        #: scope of the accumulation scratchpad: 'global' is the naive TVM
+        #: HLS default (§3.2); 'register'/'local' are cached writes (§4.5)
+        self.scratch_scope: str = "global"
+        #: leaf data axis whose body contains init/accumulate/writeback;
+        #: None means the innermost data axis (per-element accumulation)
+        self.writeback_axis: Optional[IterVar] = None
+        #: tensors whose reads should be cached on-chip (metadata consumed
+        #: by the AOC model; §5.1.1 "we create read caches for I and W")
+        self.cached_reads: List[str] = []
+
+    # -- axis bookkeeping ------------------------------------------------
+    def _find(self, axis: IterVar) -> int:
+        for i, ax in enumerate(self.leaf_axes):
+            if ax is axis:
+                return i
+        raise ScheduleError(f"axis {axis.name} is not a leaf axis of {self.op.name}")
+
+    @property
+    def data_axes(self) -> List[IterVar]:
+        return [ax for ax in self.leaf_axes if not ax.is_reduce]
+
+    @property
+    def reduce_axes(self) -> List[IterVar]:
+        return [ax for ax in self.leaf_axes if ax.is_reduce]
+
+    def axis_by_name(self, name: str) -> IterVar:
+        """Find a leaf axis by (exact) variable name."""
+        for ax in self.leaf_axes:
+            if ax.name == name:
+                return ax
+        raise ScheduleError(f"no leaf axis named {name!r} in {self.op.name}")
+
+    # -- primitives --------------------------------------------------------
+    def split(self, axis: IterVar, factor: int) -> Tuple[IterVar, IterVar]:
+        """Strip-mine ``axis`` by ``factor`` -> (outer, inner).
+
+        Static extents must divide evenly (thesis §4.11 requirement 2 —
+        epilogue loops are never generated).  Symbolic extents are allowed
+        (parameterized kernels); divisibility becomes a runtime contract.
+        """
+        if factor < 1:
+            raise ScheduleError("split factor must be >= 1")
+        i = self._find(axis)
+        ext = axis.static_extent
+        if ext is not None:
+            if ext % factor != 0:
+                raise ScheduleError(
+                    f"axis {axis.name} extent {ext} not divisible by {factor} "
+                    "(the flow never generates remainder epilogues)"
+                )
+            outer_extent: object = ext // factor
+        else:
+            outer_extent = _e.FloorDiv(axis.extent_expr(), _e.IntImm(factor))
+        outer = IterVar(_e.Var(axis.name + "o"), outer_extent, axis.kind)
+        inner = IterVar(_e.Var(axis.name + "i"), factor, axis.kind)
+        self.leaf_axes[i : i + 1] = [outer, inner]
+        self.splits.append(SplitRel(axis, outer, inner, factor))
+        if self.writeback_axis is axis:
+            self.writeback_axis = outer
+        return outer, inner
+
+    def tile(
+        self, x: IterVar, y: IterVar, x_factor: int, y_factor: int
+    ) -> Tuple[IterVar, IterVar, IterVar, IterVar]:
+        """2-D tiling: split both axes and order as (xo, yo, xi, yi)."""
+        xo, xi = self.split(x, x_factor)
+        yo, yi = self.split(y, y_factor)
+        # move yo before xi
+        self.leaf_axes.remove(yo)
+        self.leaf_axes.insert(self._find(xi), yo)
+        return xo, yo, xi, yi
+
+    def reorder(self, *axes: IterVar) -> None:
+        """Set the relative order of the given leaf axes.
+
+        Axes not mentioned keep their positions; mentioned axes are
+        permuted into the listed order across the slots they occupy.
+        """
+        idxs = sorted(self._find(ax) for ax in axes)
+        if len(set(idxs)) != len(axes):
+            raise ScheduleError("reorder arguments must be distinct leaf axes")
+        for slot, ax in zip(idxs, axes):
+            self.leaf_axes[slot] = ax
+
+    def unroll(self, axis: IterVar, factor: Optional[int] = None) -> None:
+        """Mark a leaf axis unrolled (``#pragma unroll [factor]``).
+
+        Full unrolling of an axis with a symbolic extent is rejected, as
+        AOC rejects non-constant loop bounds (§4.1).
+        """
+        self._find(axis)
+        if axis.static_extent is None and factor is None:
+            raise ScheduleError(
+                f"cannot fully unroll symbolic axis {axis.name}: AOC requires "
+                "compile-time constant bounds"
+            )
+        self.unrolled[axis] = factor
+
+    def cache_write(self, scope: str = "register") -> None:
+        """Accumulate into an on-chip scratchpad instead of global memory."""
+        if scope not in ("register", "local"):
+            raise ScheduleError("cache_write scope must be 'register' or 'local'")
+        self.scratch_scope = scope
+
+    def cache_read(self, tensor: Tensor) -> None:
+        """Mark a tensor's reads as cached on-chip (BRAM) by AOC."""
+        if tensor.name not in [t.name for t in self.op.inputs]:
+            raise ScheduleError(f"{tensor.name} is not an input of {self.op.name}")
+        if tensor.name not in self.cached_reads:
+            self.cached_reads.append(tensor.name)
+
+    def writeback_at(self, axis: Optional[IterVar]) -> None:
+        """Choose the loop level whose body holds init/accumulate/writeback.
+
+        ``axis`` must be a data leaf axis; every leaf axis after it is
+        part of the accumulation region.  ``None`` restores the default
+        (innermost data axis => scalar accumulator).
+        """
+        if axis is not None:
+            i = self._find(axis)
+            if axis.is_reduce:
+                raise ScheduleError("writeback axis must be a data axis")
+            # all reduce axes must come after the writeback axis
+            for ax in self.leaf_axes[: i + 1]:
+                if ax.is_reduce:
+                    raise ScheduleError(
+                        "reduce axes cannot be outside the writeback axis"
+                    )
+        self.writeback_axis = axis
+
+    # -- lowering-facing queries ---------------------------------------
+    def outer_and_region(self) -> Tuple[List[IterVar], List[IterVar]]:
+        """Split the leaf list into (outer loops, accumulation region)."""
+        if not self.op.has_reduction:
+            return list(self.leaf_axes), []
+        wb = self.writeback_axis
+        if wb is None:
+            # innermost data axis before the first reduce axis
+            first_reduce = min(
+                i for i, ax in enumerate(self.leaf_axes) if ax.is_reduce
+            )
+            data_before = [
+                ax for ax in self.leaf_axes[:first_reduce] if not ax.is_reduce
+            ]
+            if not data_before:
+                return [], list(self.leaf_axes)
+            wb = data_before[-1]
+        i = self._find(wb)
+        outer = self.leaf_axes[: i + 1]
+        region = self.leaf_axes[i + 1 :]
+        for ax in outer:
+            if ax.is_reduce:
+                raise ScheduleError(
+                    f"reduce axis {ax.name} is outside the writeback axis"
+                )
+        if not any(ax.is_reduce for ax in region):
+            raise ScheduleError("accumulation region has no reduce axis")
+        return list(outer), list(region)
+
+    def substitution(self) -> Dict[_e.Var, _e.Expr]:
+        """Mapping split axis vars -> leaf index expressions.
+
+        Splits may chain (an inner axis split again); applying them in
+        creation order and rewriting earlier entries keeps every mapping
+        expressed purely in terms of current leaf axes.
+        """
+        from repro.ir.functor import substitute
+
+        mapping: Dict[_e.Var, _e.Expr] = {}
+        for rel in self.splits:
+            expr = rel.outer.var * rel.factor + rel.inner.var
+            sub = {rel.parent.var: expr}
+            for k in list(mapping):
+                mapping[k] = substitute(mapping[k], sub)
+            mapping[rel.parent.var] = expr
+        return mapping
+
+    def is_unrolled(self, axis: IterVar) -> bool:
+        return axis in self.unrolled
+
+    def __repr__(self) -> str:
+        order = ", ".join(
+            ("*" if ax in self.unrolled else "") + ax.name for ax in self.leaf_axes
+        )
+        return f"Stage({self.op.name}: [{order}], scratch={self.scratch_scope})"
+
+
+class Schedule:
+    """A collection of stages, one per compute tensor, lowered together.
+
+    For single-op kernels there is exactly one stage; multi-stage kernels
+    (softmax) hold several, lowered in order into one kernel body.
+    """
+
+    def __init__(self, tensors: Sequence[Tensor]) -> None:
+        self.tensors: Tuple[Tensor, ...] = tuple(tensors)
+        self.stages: List[Stage] = []
+        for t in self.tensors:
+            if t.op is None:
+                raise ScheduleError(f"{t.name} is a placeholder, not a compute op")
+            self.stages.append(Stage(t.op))
+
+    def __getitem__(self, tensor: Tensor) -> Stage:
+        for t, s in zip(self.tensors, self.stages):
+            if t is tensor:
+                return s
+        raise ScheduleError(f"{tensor.name} is not scheduled here")
+
+    @property
+    def output(self) -> Tensor:
+        return self.tensors[-1]
+
+
+def create_schedule(*tensors: Tensor) -> Schedule:
+    """Create a schedule over one or more compute tensors (last = output)."""
+    return Schedule(tensors)

@@ -1,0 +1,44 @@
+"""TVM-Operator-Inventory equivalent: compute definitions + schedules."""
+
+from repro.topi.common import ConvSpec, ConvTiling, DenseSpec, PoolSpec, make_activation
+from repro.topi.conv2d import (
+    conv2d_tensors,
+    schedule_conv1x1_opt,
+    schedule_conv2d_naive,
+    schedule_conv2d_opt,
+)
+from repro.topi.depthwise import (
+    depthwise_tensors,
+    schedule_depthwise_naive,
+    schedule_depthwise_opt,
+)
+from repro.topi.dense import dense_tensors, schedule_dense_naive, schedule_dense_opt
+from repro.topi.pooling import (
+    gap_tensors,
+    pool_tensors,
+    schedule_pool_naive,
+    schedule_pool_opt,
+)
+from repro.topi.softmax import softmax_kernel_licm, softmax_kernel_naive, softmax_tensors
+from repro.topi.pad import flatten_tensors, pad_tensors, schedule_transform
+from repro.topi.symbolic import (
+    SymbolicConv,
+    SymbolicPad,
+    conv2d_symbolic,
+    depthwise_symbolic,
+    pad_symbolic,
+    schedule_symbolic_conv,
+)
+
+__all__ = [
+    "ConvSpec", "ConvTiling", "DenseSpec", "PoolSpec", "SymbolicConv",
+    "SymbolicPad", "conv2d_symbolic", "conv2d_tensors", "dense_tensors",
+    "depthwise_symbolic", "depthwise_tensors", "flatten_tensors",
+    "gap_tensors", "make_activation", "pad_symbolic", "pad_tensors",
+    "pool_tensors", "schedule_conv1x1_opt", "schedule_conv2d_naive",
+    "schedule_conv2d_opt", "schedule_dense_naive", "schedule_dense_opt",
+    "schedule_depthwise_naive", "schedule_depthwise_opt",
+    "schedule_pool_naive", "schedule_pool_opt", "schedule_symbolic_conv",
+    "schedule_transform", "softmax_kernel_licm", "softmax_kernel_naive",
+    "softmax_tensors",
+]

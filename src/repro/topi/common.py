@@ -1,0 +1,115 @@
+"""Shared TOPI helpers: specs, activations and epilogue construction.
+
+A TOPI entry builds (a) the tensor-expression compute for an operator and
+(b) naive or optimized schedules for it.  The *naive* schedule reproduces
+TVM's default HLS-backend behaviour the thesis starts from (global
+scratchpad accumulation, separate writeback, no unrolling); *optimized*
+schedules apply the Chapter 4/5 transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ScheduleError
+from repro.ir import expr as _e
+from repro.ir.tensor import Tensor
+
+
+def make_activation(kind: Optional[str]) -> Callable[[_e.Expr], _e.Expr]:
+    """Elementwise activation expression builder ('relu', 'relu6' or None)."""
+    if kind is None:
+        return lambda v: v
+    if kind == "relu":
+        return lambda v: _e.Max(v, _e.FloatImm(0.0))
+    if kind == "relu6":
+        return lambda v: _e.Min(_e.Max(v, _e.FloatImm(0.0)), _e.FloatImm(6.0))
+    raise ScheduleError(f"unknown activation {kind!r}")
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Static geometry + fused epilogue description of one conv kernel.
+
+    ``h``/``w`` are the *pre-padded* input spatial sizes (padding is a
+    separate kernel in this flow); geometry must satisfy
+    ``ho = (h - f) // s + 1``.
+    """
+
+    c1: int  #: input channels
+    h: int  #: input height (already padded)
+    w: int  #: input width (already padded)
+    k: int  #: filters / output channels
+    f: int  #: filter size
+    s: int = 1  #: stride
+    bias: bool = True
+    activation: Optional[str] = None
+    residual: bool = False  #: fused residual add (extra input tensor)
+    batchnorm: bool = False  #: fused inference batch norm (scale/shift)
+
+    @property
+    def ho(self) -> int:
+        return (self.h - self.f) // self.s + 1
+
+    @property
+    def wo(self) -> int:
+        return (self.w - self.f) // self.s + 1
+
+    @property
+    def macs(self) -> int:
+        return self.k * self.ho * self.wo * self.c1 * self.f * self.f
+
+
+@dataclass(frozen=True)
+class ConvTiling:
+    """Tiling/unrolling factors for optimized conv schedules (§5.1.1).
+
+    ``w2vec`` tiles output columns, ``c2vec`` output channels (1x1 convs),
+    ``c1vec`` input channels; ``unroll_ff`` fully unrolls the FxF reduction.
+    Factors of 1 mean "no tiling in that dimension".
+    """
+
+    w2vec: int = 1
+    c2vec: int = 1
+    c1vec: int = 1
+    unroll_ff: bool = True
+
+    def dsp_per_cycle(self, f: int) -> int:
+        """MACs issued per cycle = replicated DSP count."""
+        ff = f * f if self.unroll_ff else 1
+        return self.w2vec * self.c2vec * self.c1vec * ff
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """Fully-connected layer geometry."""
+
+    n: int  #: input features
+    m: int  #: output units
+    bias: bool = True
+    activation: Optional[str] = None
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Pooling geometry (max or average)."""
+
+    c: int
+    h: int
+    w: int
+    field: int
+    stride: int
+    kind: str = "max"  #: 'max' or 'avg'
+
+    @property
+    def ho(self) -> int:
+        return (self.h - self.field) // self.stride + 1
+
+    @property
+    def wo(self) -> int:
+        return (self.w - self.field) // self.stride + 1

@@ -1,0 +1,190 @@
+"""2-D convolution: compute definition and naive/optimized schedules.
+
+Reproduces thesis Section 5.1.1:
+
+* the **naive** schedule is TVM's generic NCHW HLS schedule (Listing 5.1):
+  six nested loops, accumulation into a global scratchpad sized
+  ``ho x wo`` with writeback (and activation) in a separate loop nest at
+  the output-channel level — giving II=5 accumulation and serial outers;
+* the **optimized** schedule (Listings 5.2/5.3) fuses the epilogue into
+  the main nest, caches the accumulation in registers, fully unrolls the
+  ``FxF`` reduction and optionally tiles/unrolls output columns
+  (``w2vec``) and input channels (``c1vec``);
+* **1x1 convolutions** (Listing 5.4) additionally tile/unroll output
+  channels (``c2vec``) since the FxF axes are degenerate.
+
+The symbolic-shape (parameterized) variants live in
+:mod:`repro.topi.symbolic`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import repro.ir as ir
+from repro.errors import ScheduleError
+from repro.schedule import Schedule, Stage, create_schedule
+from repro.topi.common import ConvSpec, ConvTiling, make_activation
+
+
+def conv2d_tensors(spec: ConvSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Build conv tensors: input FM, weights, optional bias/residual, output.
+
+    Returns ``(inputs dict, output tensor)``.  The epilogue applies
+    bias -> residual add -> activation, matching the fusion order of the
+    graph pass.
+    """
+    I = ir.placeholder((spec.c1, spec.h, spec.w), f"{name}_in")
+    W = ir.placeholder((spec.k, spec.c1, spec.f, spec.f), f"{name}_w")
+    inputs = {"I": I, "W": W}
+    tensors = [I, W]
+    B = R = S = Z = None
+    if spec.bias:
+        B = ir.placeholder((spec.k,), f"{name}_b")
+        inputs["B"] = B
+        tensors.append(B)
+    if spec.batchnorm:
+        S = ir.placeholder((spec.k,), f"{name}_scale")
+        Z = ir.placeholder((spec.k,), f"{name}_shift")
+        inputs["S"], inputs["Z"] = S, Z
+        tensors.extend([S, Z])
+    if spec.residual:
+        R = ir.placeholder((spec.k, spec.ho, spec.wo), f"{name}_res")
+        inputs["R"] = R
+        tensors.append(R)
+    act = make_activation(spec.activation)
+
+    def epilogue(v: ir.Expr, ff: ir.Expr, yy: ir.Expr, xx: ir.Expr) -> ir.Expr:
+        if B is not None:
+            v = v + B[ff]
+        if S is not None:
+            v = v * S[ff] + Z[ff]
+        if R is not None:
+            v = v + R[ff, yy, xx]
+        return act(v)
+
+    rc = ir.reduce_axis(spec.c1, "rc")
+    ry = ir.reduce_axis(spec.f, "ry")
+    rx = ir.reduce_axis(spec.f, "rx")
+    s = spec.s
+    out = ir.compute(
+        (spec.k, spec.ho, spec.wo),
+        lambda ff, yy, xx: ir.sum(
+            I[rc, yy * s + ry, xx * s + rx] * W[ff, rc, ry, rx], [rc, ry, rx]
+        ),
+        name,
+        inputs=tensors,
+        axis_names=["ff", "yy", "xx"],
+        epilogue=epilogue,
+    )
+    return inputs, out
+
+
+def schedule_conv2d_naive(out: ir.Tensor, auto_unroll_ff: bool = False) -> Schedule:
+    """TVM default HLS schedule (Listing 5.1).
+
+    Global scratchpad covering the spatial dims, writeback at the
+    output-channel axis.  ``auto_unroll_ff`` models Quartus < 19.1
+    automatically unrolling small-trip-count loops (the FxF reduction),
+    which the thesis observes on the A10 and S10SX baselines.
+    """
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    ff, yy, xx = st.data_axes
+    st.writeback_at(ff)  # scratchpad over (yy, xx); separate writeback loop
+    if auto_unroll_ff:
+        rc, ry, rx = st.reduce_axes
+        st.unroll(ry)
+        st.unroll(rx)
+    return sch
+
+
+def schedule_conv2d_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
+    """Optimized direct-conv schedule (Listings 5.2/5.3).
+
+    Register write cache, epilogue fused at the tile boundary, FxF fully
+    unrolled, output columns tiled by ``w2vec`` and input channels by
+    ``c1vec`` with the inner tiles unrolled.  ``c2vec`` must be 1 here
+    (use :func:`schedule_conv1x1_opt` for pointwise convs).
+    """
+    if tiling.c2vec != 1:
+        raise ScheduleError("c2vec tiling applies to 1x1 convs only (use conv1x1)")
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    ff, yy, xx = st.data_axes
+    rc, ry, rx = st.reduce_axes
+    st.cache_write("register")
+
+    xxi: Optional[ir.IterVar] = None
+    if tiling.w2vec > 1:
+        xxo, xxi = st.split(xx, tiling.w2vec)
+        st.unroll(xxi)
+        wb = xxo
+    else:
+        wb = xx
+    rci: Optional[ir.IterVar] = None
+    if tiling.c1vec > 1:
+        rco, rci = st.split(rc, tiling.c1vec)
+        st.unroll(rci)
+    if tiling.unroll_ff:
+        st.unroll(ry)
+        st.unroll(rx)
+    st.writeback_at(wb)
+
+    # move the unrolled xxi inside the reduction (Listing 5.3): leaf order
+    # ff, yy, xxo, rco, rci, xxi, ry, rx
+    if xxi is not None:
+        order = [ax for ax in st.leaf_axes if ax is not xxi]
+        if rci is not None:
+            idx = order.index(rci) + 1
+        else:
+            # place right after the first reduce axis (rc/rco)
+            first_reduce = next(ax for ax in order if ax.is_reduce)
+            idx = order.index(first_reduce) + 1
+        order.insert(idx, xxi)
+        st.reorder(*order)
+    sch.stages[0].cache_read(st.op.inputs[0])  # input FM read cache
+    sch.stages[0].cache_read(st.op.inputs[1])  # weight read cache
+    return sch
+
+
+def schedule_conv1x1_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
+    """Optimized pointwise-conv schedule (Listing 5.4).
+
+    Tiles and unrolls output channels (``c2vec``), output columns
+    (``w2vec``) and input channels (``c1vec``); the accumulator is a
+    ``c2vec x w2vec`` register tile.
+    """
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    ff, yy, xx = st.data_axes
+    rc, ry, rx = st.reduce_axes
+    if st.op.inputs[1].shape[-1] != 1:
+        raise ScheduleError("schedule_conv1x1_opt requires F=1")
+    st.cache_write("register")
+
+    ffi = xxi = rci = None
+    wb_candidates = []
+    if tiling.c2vec > 1:
+        ffo, ffi = st.split(ff, tiling.c2vec)
+        st.unroll(ffi)
+    if tiling.w2vec > 1:
+        xxo, xxi = st.split(xx, tiling.w2vec)
+        st.unroll(xxi)
+        wb_candidates.append(xxo)
+    else:
+        wb_candidates.append(xx)
+    if tiling.c1vec > 1:
+        rco, rci = st.split(rc, tiling.c1vec)
+        st.unroll(rci)
+
+    # leaf order: ffo, yy, xxo | rco, xxi, ffi, rci, ry, rx
+    data_outer = [ax for ax in st.data_axes if ax not in (ffi, xxi)]
+    reduce_outer = [ax for ax in st.reduce_axes if ax is not rci]
+    inner = [ax for ax in (xxi, ffi, rci) if ax is not None]
+    order = data_outer + [reduce_outer[0]] + inner + reduce_outer[1:]
+    st.reorder(*order)
+    st.writeback_at(data_outer[-1])
+    st.cache_read(st.op.inputs[0])
+    st.cache_read(st.op.inputs[1])
+    return sch

@@ -1,0 +1,65 @@
+"""Fully-connected (dense) layer: compute and schedules (thesis §5.1.2).
+
+The unbatched dense layer is a matrix-vector product.  The naive schedule
+(Listing 5.5) keeps the scalar dot product in a global scratchpad; the
+optimized schedule (Listing 5.6) strip-mines the reduction by a factor
+that maximizes global-memory utilization, unrolls the strip, caches the
+accumulation in a register and caches the input vector on-chip (weights
+have no reuse and set the kernel's memory demand).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import repro.ir as ir
+from repro.schedule import Schedule, create_schedule
+from repro.topi.common import DenseSpec, make_activation
+
+
+def dense_tensors(spec: DenseSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Build dense tensors: input vector, (M, N) weights, optional bias."""
+    I = ir.placeholder((spec.n,), f"{name}_in")
+    W = ir.placeholder((spec.m, spec.n), f"{name}_w")
+    inputs = {"I": I, "W": W}
+    tensors = [I, W]
+    B = None
+    if spec.bias:
+        B = ir.placeholder((spec.m,), f"{name}_b")
+        inputs["B"] = B
+        tensors.append(B)
+    act = make_activation(spec.activation)
+
+    def epilogue(v: ir.Expr, j: ir.Expr) -> ir.Expr:
+        if B is not None:
+            v = v + B[j]
+        return act(v)
+
+    k = ir.reduce_axis(spec.n, "k")
+    out = ir.compute(
+        (spec.m,),
+        lambda j: ir.sum(I[k] * W[j, k], [k]),
+        name,
+        inputs=tensors,
+        axis_names=["j"],
+        epilogue=epilogue,
+    )
+    return inputs, out
+
+
+def schedule_dense_naive(out: ir.Tensor) -> Schedule:
+    """Listing 5.5: scalar dot product accumulated in global memory."""
+    return create_schedule(out)
+
+
+def schedule_dense_opt(out: ir.Tensor, unroll_factor: int) -> Schedule:
+    """Listing 5.6: strip-mine the reduction, unroll, register-cache."""
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    (k,) = st.reduce_axes
+    st.cache_write("register")
+    if unroll_factor > 1:
+        ko, ki = st.split(k, unroll_factor)
+        st.unroll(ki)
+    st.cache_read(st.op.inputs[0])  # input vector fits in BRAM
+    return sch

@@ -1,0 +1,95 @@
+"""Depthwise 3x3 convolution: compute and schedules (thesis Table 6.7).
+
+MobileNetV1's depthwise layers apply one FxF filter per channel.  The
+optimized schedule tiles output columns by ``w2vec`` (7 in the thesis)
+and fully unrolls the FxF window; there is no input-channel reduction to
+tile.  The windowed input reads cannot be coalesced, which is why the
+thesis measures depthwise layers at ~1/30th of the pointwise GFLOPS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import repro.ir as ir
+from repro.schedule import Schedule, create_schedule
+from repro.topi.common import ConvSpec, ConvTiling, make_activation
+
+
+def depthwise_tensors(spec: ConvSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Build depthwise-conv tensors; ``spec.k`` must equal ``spec.c1``."""
+    I = ir.placeholder((spec.c1, spec.h, spec.w), f"{name}_in")
+    W = ir.placeholder((spec.c1, spec.f, spec.f), f"{name}_w")
+    inputs = {"I": I, "W": W}
+    tensors = [I, W]
+    B = S = Z = None
+    if spec.bias:
+        B = ir.placeholder((spec.c1,), f"{name}_b")
+        inputs["B"] = B
+        tensors.append(B)
+    if spec.batchnorm:
+        S = ir.placeholder((spec.c1,), f"{name}_scale")
+        Z = ir.placeholder((spec.c1,), f"{name}_shift")
+        inputs["S"], inputs["Z"] = S, Z
+        tensors.extend([S, Z])
+    act = make_activation(spec.activation)
+
+    def epilogue(v: ir.Expr, cc: ir.Expr, yy: ir.Expr, xx: ir.Expr) -> ir.Expr:
+        if B is not None:
+            v = v + B[cc]
+        if S is not None:
+            v = v * S[cc] + Z[cc]
+        return act(v)
+
+    ry = ir.reduce_axis(spec.f, "ry")
+    rx = ir.reduce_axis(spec.f, "rx")
+    s = spec.s
+    out = ir.compute(
+        (spec.c1, spec.ho, spec.wo),
+        lambda cc, yy, xx: ir.sum(
+            I[cc, yy * s + ry, xx * s + rx] * W[cc, ry, rx], [ry, rx]
+        ),
+        name,
+        inputs=tensors,
+        axis_names=["cc", "yy", "xx"],
+        epilogue=epilogue,
+    )
+    return inputs, out
+
+
+def schedule_depthwise_naive(out: ir.Tensor, auto_unroll_ff: bool = False) -> Schedule:
+    """Default schedule: global scratch over (yy, xx), writeback at cc."""
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    cc, yy, xx = st.data_axes
+    st.writeback_at(cc)
+    if auto_unroll_ff:
+        ry, rx = st.reduce_axes
+        st.unroll(ry)
+        st.unroll(rx)
+    return sch
+
+
+def schedule_depthwise_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
+    """Optimized schedule: tile W2 by ``w2vec``, unroll FxF, register cache."""
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    cc, yy, xx = st.data_axes
+    ry, rx = st.reduce_axes
+    st.cache_write("register")
+    if tiling.w2vec > 1:
+        xxo, xxi = st.split(xx, tiling.w2vec)
+        st.unroll(xxi)
+        wb = xxo
+        # xxi inside the reduction: cc, yy, xxo, xxi, ry, rx is already the
+        # leaf order after split; move xxi after nothing (region starts at
+        # xxi which is fine: tile axis precedes reduce axes)
+    else:
+        wb = xx
+    if tiling.unroll_ff:
+        st.unroll(ry)
+        st.unroll(rx)
+    st.writeback_at(wb)
+    st.cache_read(st.op.inputs[0])
+    st.cache_read(st.op.inputs[1])
+    return sch

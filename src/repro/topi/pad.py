@@ -1,0 +1,63 @@
+"""Zero-padding and flatten kernels (the "transform" kernels).
+
+TVM generates padding as a separate kernel using conditional writes; the
+thesis notes these kernels do no computation yet consume 8-22% of the
+optimized runtime, and that their select/modulo addressing style "does
+not generate efficient hardware".  We reproduce both faithfully:
+padding uses a Select over bounds tests; flatten copies through
+div/mod address arithmetic.  Neither is unrolled (Table 4.1: loop
+unrolling is applied to all kernels *except* transpose/padding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import repro.ir as ir
+from repro.schedule import Schedule, create_schedule
+
+
+def pad_tensors(
+    c: int, h: int, w: int, before: int, after: int, name: str
+) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Zero-pad a CHW tensor by (before, after) on both spatial dims."""
+    I = ir.placeholder((c, h, w), f"{name}_in")
+    ho = h + before + after
+    wo = w + before + after
+
+    def fcompute(cc, yy, xx):
+        in_bounds = ir.And(
+            ir.And(yy >= before, yy < before + h),
+            ir.And(xx >= before, xx < before + w),
+        )
+        # both arms are materialized, exactly like the generated OpenCL;
+        # the out-of-bounds load is clamped to 0 via min/max index math
+        yy_c = ir.Max(ir.Min(yy - before, ir.IntImm(h - 1)), ir.IntImm(0))
+        xx_c = ir.Max(ir.Min(xx - before, ir.IntImm(w - 1)), ir.IntImm(0))
+        return ir.Select(in_bounds, I[cc, yy_c, xx_c], ir.FloatImm(0.0))
+
+    out = ir.compute(
+        (c, ho, wo),
+        fcompute,
+        name,
+        inputs=[I],
+        axis_names=["cc", "yy", "xx"],
+    )
+    return {"I": I}, out
+
+
+def flatten_tensors(c: int, h: int, w: int, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Flatten CHW -> vector with div/mod addressing (TVM's transform)."""
+    I = ir.placeholder((c, h, w), f"{name}_in")
+    n = c * h * w
+
+    def fcompute(i):
+        return I[i // (h * w), (i // w) % h, i % w]
+
+    out = ir.compute((n,), fcompute, name, inputs=[I], axis_names=["i"])
+    return {"I": I}, out
+
+
+def schedule_transform(out: ir.Tensor) -> Schedule:
+    """Transforms are never unrolled (thesis Table 4.1)."""
+    return create_schedule(out)

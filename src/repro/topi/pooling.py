@@ -1,0 +1,79 @@
+"""Pooling layers: max, average and global-average pooling.
+
+Pooling kernels have no weights; in pipelined deployments they read and
+write only channels, which is what lets the thesis declare them autorun
+(Section 4.7).  The optimized schedules unroll the FxF window and cache
+the reduction in a register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import repro.ir as ir
+from repro.errors import ScheduleError
+from repro.schedule import Schedule, create_schedule
+from repro.topi.common import PoolSpec
+
+
+def pool_tensors(spec: PoolSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Build pooling tensors (max or avg per ``spec.kind``)."""
+    I = ir.placeholder((spec.c, spec.h, spec.w), f"{name}_in")
+    ry = ir.reduce_axis(spec.field, "ry")
+    rx = ir.reduce_axis(spec.field, "rx")
+    s = spec.stride
+    if spec.kind == "max":
+        fcompute = lambda cc, yy, xx: ir.max_reduce(
+            I[cc, yy * s + ry, xx * s + rx], [ry, rx]
+        )
+        epilogue = None
+    elif spec.kind == "avg":
+        inv = 1.0 / float(spec.field * spec.field)
+        fcompute = lambda cc, yy, xx: ir.sum(
+            I[cc, yy * s + ry, xx * s + rx], [ry, rx]
+        )
+        epilogue = lambda v, cc, yy, xx: v * ir.FloatImm(inv)
+    else:
+        raise ScheduleError(f"unknown pooling kind {spec.kind!r}")
+    out = ir.compute(
+        (spec.c, spec.ho, spec.wo),
+        fcompute,
+        name,
+        inputs=[I],
+        axis_names=["cc", "yy", "xx"],
+        epilogue=epilogue,
+    )
+    return {"I": I}, out
+
+
+def gap_tensors(c: int, h: int, w: int, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
+    """Global average pooling: CHW feature map -> C vector."""
+    I = ir.placeholder((c, h, w), f"{name}_in")
+    ry = ir.reduce_axis(h, "ry")
+    rx = ir.reduce_axis(w, "rx")
+    inv = 1.0 / float(h * w)
+    out = ir.compute(
+        (c,),
+        lambda cc: ir.sum(I[cc, ry, rx], [ry, rx]),
+        name,
+        inputs=[I],
+        axis_names=["cc"],
+        epilogue=lambda v, cc: v * ir.FloatImm(inv),
+    )
+    return {"I": I}, out
+
+
+def schedule_pool_naive(out: ir.Tensor) -> Schedule:
+    """Default schedule: per-element reduction in a global scratchpad."""
+    return create_schedule(out)
+
+
+def schedule_pool_opt(out: ir.Tensor) -> Schedule:
+    """Unroll the pooling window, register-cache the reduction."""
+    sch = create_schedule(out)
+    st = sch.stages[0]
+    st.cache_write("register")
+    for ax in st.reduce_axes:
+        if ax.static_extent is not None and ax.static_extent <= 16:
+            st.unroll(ax)
+    return sch

@@ -1,0 +1,136 @@
+"""Terminal-friendly ASCII charts for the reproduced figures.
+
+The benchmark harness regenerates the thesis's figures as data series;
+this module renders them as ASCII bar/line charts so ``pytest -s`` and
+the example scripts show the same visual story (matplotlib is not
+available in the offline environment).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+_BAR = "#"
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    fmt: str = "{:.0f}",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ReproError("labels/values length mismatch")
+    if not values:
+        return title
+    peak = max(values)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        n = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{str(label):>{label_w}} | {_BAR * n} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    fmt: str = "{:.0f}",
+) -> str:
+    """Grouped horizontal bars: per group, one bar per series."""
+    peak = max(max(v) for v in series.values())
+    label_w = max(
+        [len(g) for g in groups] + [len(s) + 2 for s in series]
+    )
+    lines = [title]
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for sname, values in series.items():
+            value = values[gi]
+            n = 0 if peak <= 0 else int(round(width * value / peak))
+            lines.append(
+                f"  {sname:>{label_w}} | {_BAR * n} {fmt.format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    logy: bool = False,
+) -> str:
+    """ASCII scatter/line chart of one or more series over shared x values."""
+    if not series:
+        raise ReproError("no series to plot")
+    marks = "ox+*@%&"
+    all_vals = [v for vals in series.values() for v in vals]
+    lo, hi = min(all_vals), max(all_vals)
+    if logy:
+        if lo <= 0:
+            raise ReproError("log-scale chart needs positive values")
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    span_x = (x_hi - x_lo) or 1.0
+    for si, (name, vals) in enumerate(series.items()):
+        for x, v in zip(xs, vals):
+            vv = math.log10(v) if logy else v
+            col = int((x - x_lo) / span_x * (width - 1))
+            row = height - 1 - int((vv - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = marks[si % len(marks)]
+    lines = [title]
+    top = 10 ** hi if logy else hi
+    bot = 10 ** lo if logy else lo
+    for i, row in enumerate(grid):
+        prefix = f"{top:9.3g} |" if i == 0 else (
+            f"{bot:9.3g} |" if i == height - 1 else " " * 10 + "|"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_lo:<10.3g}{'x':^{max(0, width - 20)}}{x_hi:>10.3g}"
+    )
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def utilization_heatmap(
+    title: str,
+    utilization: float,
+    cells: int = 40,
+    rows: int = 4,
+    seed: int = 7,
+) -> str:
+    """A Fig 6.8-style routing-utilization map: the hotter the design,
+    the more saturated cells (deterministic pseudo-random placement)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    density = rng.uniform(0.3, 1.0, (rows, cells)) * min(1.5, utilization)
+    palette = " .:-=+*#%@"
+    lines = [title]
+    for r in range(rows):
+        row = "".join(
+            palette[min(len(palette) - 1, int(d * (len(palette) - 1)))]
+            for d in density[r]
+        )
+        lines.append("|" + row + "|")
+    lines.append(f"(congestion metric: {utilization:.2f}; '@' ~ >95% routed)")
+    return "\n".join(lines)

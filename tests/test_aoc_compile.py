@@ -1,0 +1,138 @@
+"""Offline-compiler tests: resources, fmax, fit and routing failures."""
+
+import pytest
+
+import repro.ir as ir
+from repro.aoc import (
+    AOCConstants,
+    DEFAULT_CONSTANTS,
+    KernelAnalysis,
+    ResourceEstimate,
+    compile_program,
+    estimate_kernel,
+)
+from repro.aoc.fmax import congestion_metric, timing
+from repro.device import ARRIA10, STRATIX10_MX, STRATIX10_SX
+from repro.errors import FitError, RoutingError
+from repro.schedule import lower
+from repro.topi import ConvSpec, ConvTiling, conv2d_tensors, schedule_conv2d_opt
+
+
+def _kernel(tiling=ConvTiling()):
+    spec = ConvSpec(c1=8, h=10, w=10, k=8, f=3, bias=True, activation="relu")
+    _, out = conv2d_tensors(spec, "c")
+    return lower(schedule_conv2d_opt(out, tiling), "k")
+
+
+class TestResourceEstimate:
+    def test_addition(self):
+        a = ResourceEstimate(1, 2, 3, 4)
+        b = ResourceEstimate(10, 20, 30, 40)
+        s = a + b
+        assert (s.aluts, s.ffs, s.rams, s.dsps) == (11, 22, 33, 44)
+
+    def test_unrolling_increases_dsps(self):
+        small = estimate_kernel(KernelAnalysis(_kernel()), DEFAULT_CONSTANTS)
+        big = estimate_kernel(
+            KernelAnalysis(_kernel(ConvTiling(w2vec=2, c1vec=8))), DEFAULT_CONSTANTS
+        )
+        assert big.dsps > 5 * small.dsps
+        assert big.aluts > small.aluts
+
+    def test_ffs_track_aluts(self):
+        r = estimate_kernel(KernelAnalysis(_kernel()), DEFAULT_CONSTANTS)
+        assert r.ffs == int(r.aluts * DEFAULT_CONSTANTS.ff_per_alut)
+
+    def test_positive_resources(self):
+        r = estimate_kernel(KernelAnalysis(_kernel()), DEFAULT_CONSTANTS)
+        assert r.aluts > 0 and r.rams > 0 and r.dsps > 0
+
+
+class TestTiming:
+    def test_dsp_utilization_degrades_fmax(self):
+        low = ResourceEstimate(aluts=10_000, ffs=20_000, rams=50, dsps=50)
+        high = ResourceEstimate(aluts=10_000, ffs=20_000, rams=50, dsps=1000)
+        t_low = timing(low, ARRIA10, 0, DEFAULT_CONSTANTS)
+        t_high = timing(high, ARRIA10, 0, DEFAULT_CONSTANTS)
+        assert t_high.fmax_mhz < t_low.fmax_mhz
+
+    def test_congestion_increases_with_replicas(self):
+        r = ResourceEstimate(aluts=100_000, ffs=200_000, rams=200, dsps=100)
+        c0 = congestion_metric(r, STRATIX10_SX, 0, DEFAULT_CONSTANTS)
+        c1 = congestion_metric(r, STRATIX10_SX, 100, DEFAULT_CONSTANTS)
+        assert c1 > c0
+
+    def test_routing_fails_above_threshold(self):
+        huge = ResourceEstimate(aluts=1_200_000, ffs=2_400_000, rams=9_000, dsps=4_000)
+        t = timing(huge, STRATIX10_SX, 300, DEFAULT_CONSTANTS)
+        assert not t.routed
+
+    def test_fmax_floor(self):
+        huge = ResourceEstimate(aluts=1_000_000, ffs=2_000_000, rams=5_000, dsps=5_700)
+        t = timing(huge, STRATIX10_SX, 0, DEFAULT_CONSTANTS)
+        assert t.fmax_mhz >= 0.25 * STRATIX10_SX.base_fmax_mhz
+
+
+class TestCompileProgram:
+    def test_simple_program_compiles(self):
+        bs = compile_program(ir.Program([_kernel()], "p"), STRATIX10_SX)
+        assert bs.fmax_mhz > 100
+        u = bs.utilization()
+        assert 0 < u["logic"] < 1
+
+    def test_kernel_time_positive(self):
+        bs = compile_program(ir.Program([_kernel()], "p"), STRATIX10_SX)
+        assert bs.kernel_time_us("k") > 0
+
+    def test_fit_error_on_oversized_design(self):
+        kernels = []
+        for i in range(60):
+            spec = ConvSpec(c1=8, h=10, w=10, k=8, f=3)
+            _, out = conv2d_tensors(spec, f"c{i}")
+            kernels.append(
+                lower(schedule_conv2d_opt(out, ConvTiling(w2vec=2, c1vec=8)), f"k{i}")
+            )
+        with pytest.raises((FitError, RoutingError)):
+            compile_program(ir.Program(kernels, "big"), ARRIA10)
+
+    def test_strict_fit_false_returns_bitstream(self):
+        kernels = []
+        for i in range(60):
+            spec = ConvSpec(c1=8, h=10, w=10, k=8, f=3)
+            _, out = conv2d_tensors(spec, f"c{i}")
+            kernels.append(
+                lower(schedule_conv2d_opt(out, ConvTiling(w2vec=2, c1vec=8)), f"k{i}")
+            )
+        bs = compile_program(ir.Program(kernels, "big"), ARRIA10, strict_fit=False)
+        assert bs.total.dsps > 0
+
+    def test_naive_feedback_lowers_fmax(self):
+        from repro.topi import schedule_conv2d_naive
+
+        spec = ConvSpec(c1=8, h=10, w=10, k=8, f=3)
+        _, out = conv2d_tensors(spec, "c")
+        naive = lower(schedule_conv2d_naive(out), "k")
+        opt = _kernel()
+        bs_naive = compile_program(ir.Program([naive], "n"), STRATIX10_SX)
+        bs_opt = compile_program(ir.Program([opt], "o"), STRATIX10_SX)
+        assert bs_naive.fmax_mhz < bs_opt.fmax_mhz
+
+    def test_memory_bound_kernel_time(self):
+        """A kernel whose traffic dominates is costed by bandwidth."""
+        bs = compile_program(ir.Program([_kernel()], "p"), STRATIX10_MX)
+        bs2 = compile_program(ir.Program([_kernel()], "p"), STRATIX10_SX)
+        # same kernel, the HBM-single-channel board is never faster per byte
+        assert bs.kernel_time_us("k") >= bs2.kernel_time_us("k") * 0.5
+
+
+class TestAreaReport:
+    def test_area_row(self):
+        from repro.aoc import area_row, format_area_table
+
+        bs = compile_program(ir.Program([_kernel()], "p"), STRATIX10_SX)
+        row = area_row(bs)
+        assert row["board"] == "S10SX"
+        assert isinstance(row["logic_pct"], int)
+        row["design"] = "test"
+        text = format_area_table([row], "Area")
+        assert "S10SX" in text and "Area" in text

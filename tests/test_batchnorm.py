@@ -1,0 +1,139 @@
+"""Batch-norm fusion tests: graph op -> fused epilogue -> kernel -> executor."""
+
+import numpy as np
+import pytest
+
+from repro.device import STRATIX10_SX
+from repro.errors import ReproError
+from repro.flow import FoldedConfig, build_folded, build_pipelined, deploy_folded
+from repro.models import mobilenet_v1, resnet
+from repro.relay import (
+    GraphBuilder,
+    fuse_operators,
+    init_params,
+    run_fused_graph,
+    run_graph,
+)
+from repro.runtime import run_folded_functional, run_pipelined_functional
+from repro.topi import ConvTiling
+
+
+def _bn_chain():
+    g = GraphBuilder("bnchain")
+    x = g.input((2, 10, 10))
+    x = g.conv2d(x, filters=4, field=3, bias=False, name="c1")
+    x = g.batchnorm(x, name="c1_bn")
+    x = g.relu(x)
+    x = g.maxpool(x, 2, 2)
+    x = g.flatten(x)
+    x = g.dense(x, 5, name="fc")
+    x = g.softmax(x)
+    return g.build()
+
+
+class TestGraphLevel:
+    def test_bn_node_params(self):
+        g = _bn_chain()
+        shapes = g.param_shapes()
+        for suffix in ("gamma", "beta", "mean", "var"):
+            assert f"c1_bn.{suffix}" in shapes
+            assert shapes[f"c1_bn.{suffix}"] == (4,)
+
+    def test_bn_requires_chw(self):
+        g = GraphBuilder("t")
+        x = g.input((2, 10, 10))
+        x = g.conv2d(x, 2, 3)
+        x = g.flatten(x)
+        with pytest.raises(ReproError):
+            g.batchnorm(x)
+
+    def test_bn_fuses_into_conv(self):
+        fused = fuse_operators(_bn_chain())
+        conv = [fn for fn in fused if fn.op == "conv2d"][0]
+        assert conv.has_batchnorm
+        assert conv.epilogue_kinds() == ["batchnorm", "relu"]
+        assert conv.batchnorm_node.name == "c1_bn"
+
+    def test_canonical_epilogue_guard(self):
+        g = GraphBuilder("t")
+        x = g.input((2, 8, 8))
+        x = g.conv2d(x, 2, 3, bias=False, name="c")
+        x = g.relu(x)
+        x = g.batchnorm(x)  # activation BEFORE bn: non-canonical
+        fused = fuse_operators(g.build())
+        conv = [fn for fn in fused if fn.op == "conv2d"][0]
+        with pytest.raises(ReproError, match="canonical"):
+            conv.check_canonical_epilogue()
+
+    def test_unfused_equals_fused(self):
+        g = _bn_chain()
+        p = init_params(g, 2)
+        x = np.random.default_rng(1).standard_normal((2, 10, 10)).astype(np.float32)
+        y1 = run_graph(g, x, p)
+        y2 = run_fused_graph(fuse_operators(g), x, p)
+        assert np.allclose(y1, y2, atol=1e-5)
+
+
+class TestKernelLevel:
+    def test_pipelined_kernels_match_numpy(self):
+        g = _bn_chain()
+        fused = fuse_operators(g)
+        params = init_params(g, 3)
+        x = np.random.default_rng(4).standard_normal((2, 10, 10)).astype(np.float32)
+        ref = run_fused_graph(fused, x, params)
+        prog, plan = build_pipelined(fused, "tvm_autorun", STRATIX10_SX)
+        out = run_pipelined_functional(prog, plan, fused, x, params)
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_folded_parameterized_bn_matches_numpy(self):
+        g = GraphBuilder("bnfold")
+        x = g.input((4, 8, 8))
+        for i in range(2):  # two layers share one parameterized BN kernel
+            x = g.pad(x, 1, name=f"p{i}")
+            x = g.conv2d(x, filters=4, field=3, bias=False, name=f"c{i}")
+            x = g.batchnorm(x, name=f"c{i}_bn")
+            x = g.relu(x)
+        graph = g.build()
+        fused = fuse_operators(graph)
+        params = init_params(graph, 5)
+        xin = np.random.default_rng(6).standard_normal((4, 8, 8)).astype(np.float32)
+        ref = run_fused_graph(fused, xin, params)
+        cfg = FoldedConfig(conv_tilings={("conv", 3, 1): ConvTiling(w2vec=4, c1vec=2)})
+        prog, plan = build_folded(fused, cfg, STRATIX10_SX)
+        # both conv layers share one kernel carrying scale/shift args
+        conv_kernels = {i.kernel_name for i in plan.invocations if i.op_label.startswith("3x3")}
+        assert len(conv_kernels) == 1
+        kern = prog.kernel(next(iter(conv_kernels)))
+        assert any(b.name.endswith("_scale") for b in kern.args)
+        out = run_folded_functional(prog, plan, fused, xin, params)
+        assert np.allclose(out.reshape(ref.shape), ref, atol=1e-4)
+
+
+class TestModelVariants:
+    def test_bn_mobilenet_executes(self):
+        g = mobilenet_v1(batchnorm=True)
+        p = init_params(g, 0)
+        x = (np.random.default_rng(0).standard_normal((3, 224, 224)) * 0.1).astype(
+            np.float32
+        )
+        y1 = run_graph(g, x, p)
+        y2 = run_fused_graph(fuse_operators(g), x, p)
+        assert np.allclose(y1, y2, atol=1e-4)
+
+    def test_bn_variants_deploy(self):
+        d = deploy_folded("mobilenet_v1_bn", STRATIX10_SX)
+        assert d.fps() > 10
+        d = deploy_folded("resnet18_bn", STRATIX10_SX)
+        assert d.fps() > 1
+
+    def test_bn_kernel_count_matches_biased_variant(self):
+        """BN fuses into the same kernels: the folded inventory size is
+        unchanged versus the bias form."""
+        plain = fuse_operators(mobilenet_v1())
+        bn = fuse_operators(mobilenet_v1(batchnorm=True))
+        assert len(plain) == len(bn)
+
+    def test_bn_resnet_has_residual_bn_epilogues(self):
+        fused = fuse_operators(resnet(18, batchnorm=True))
+        conv2 = [fn for fn in fused if fn.name.endswith("_conv2")][0]
+        assert conv2.epilogue_kinds() == ["batchnorm", "add", "relu"]

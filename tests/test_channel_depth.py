@@ -1,0 +1,77 @@
+"""Channel-depth back-pressure model tests (thesis §4.6/§4.11)."""
+
+import pytest
+
+from repro.aoc import compile_program
+from repro.device import STRATIX10_SX
+from repro.flow import build_pipelined
+from repro.models import lenet5
+from repro.relay import fuse_operators
+from repro.runtime import simulate_pipelined
+
+
+@pytest.fixture(scope="module")
+def fused():
+    return fuse_operators(lenet5())
+
+
+def _fps(fused, scale):
+    prog, plan = build_pipelined(
+        fused, "tvm_autorun", STRATIX10_SX, channel_depth_scale=scale
+    )
+    bs = compile_program(prog, STRATIX10_SX)
+    return simulate_pipelined(bs, plan, concurrent=True).fps, bs, plan
+
+
+class TestDepthSizing:
+    def test_default_depth_is_producer_ofm(self, fused):
+        _, _, plan = _fps(fused, 1.0)
+        conv1 = next(s for s in plan.stages if s.layer == "conv1")
+        assert conv1.channel_depth == conv1.output_elems == 6 * 26 * 26
+
+    def test_scaled_depth(self, fused):
+        _, _, plan = _fps(fused, 0.5)
+        conv1 = next(s for s in plan.stages if s.layer == "conv1")
+        assert conv1.channel_depth == conv1.output_elems // 2
+
+    def test_zero_scale_register_channels(self, fused):
+        _, bs, plan = _fps(fused, 0.0)
+        assert all(ch.depth == 0 for ch in bs.program.all_channels())
+
+
+class TestBackPressure:
+    def test_full_depth_is_fastest(self, fused):
+        full, _, _ = _fps(fused, 1.0)
+        shallow, _, _ = _fps(fused, 0.25)
+        none, _, _ = _fps(fused, 0.0)
+        assert full >= shallow >= none
+        assert full > none  # stalls are actually modelled
+
+    def test_serial_execution_unaffected(self, fused):
+        """Back-pressure only matters when stages overlap (CE)."""
+        prog1, plan1 = build_pipelined(fused, "tvm_autorun", STRATIX10_SX, 1.0)
+        prog0, plan0 = build_pipelined(fused, "tvm_autorun", STRATIX10_SX, 0.0)
+        bs1 = compile_program(prog1, STRATIX10_SX)
+        bs0 = compile_program(prog0, STRATIX10_SX)
+        t1 = simulate_pipelined(bs1, plan1, concurrent=False).time_per_image_us
+        t0 = simulate_pipelined(bs0, plan0, concurrent=False).time_per_image_us
+        assert abs(t1 - t0) / t1 < 0.02
+
+    def test_deep_channels_cost_bram(self, fused):
+        _, bs_full, _ = _fps(fused, 1.0)
+        _, bs_none, _ = _fps(fused, 0.0)
+        assert bs_full.total.rams >= bs_none.total.rams
+
+    def test_functional_unaffected_by_depth(self, fused):
+        """FIFO depth is a performance knob, not a semantic one."""
+        import numpy as np
+
+        from repro.relay import init_params, run_fused_graph
+        from repro.runtime import run_pipelined_functional
+
+        params = init_params(fused.graph, 0)
+        x = np.random.default_rng(3).standard_normal((1, 28, 28)).astype(np.float32)
+        ref = run_fused_graph(fused, x, params)
+        prog, plan = build_pipelined(fused, "tvm_autorun", STRATIX10_SX, 0.0)
+        out = run_pipelined_functional(prog, plan, fused, x, params)
+        assert np.allclose(out, ref, atol=1e-4)

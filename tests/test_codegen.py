@@ -1,0 +1,141 @@
+"""OpenCL-C code-generation tests."""
+
+import re
+
+import pytest
+
+import repro.ir as ir
+from repro.codegen import generate_opencl
+from repro.errors import CodegenError
+from repro.schedule import lower
+from repro.topi import (
+    ConvSpec,
+    ConvTiling,
+    conv2d_tensors,
+    schedule_conv2d_opt,
+    conv2d_symbolic,
+    schedule_symbolic_conv,
+)
+
+
+def _opt_kernel():
+    spec = ConvSpec(c1=4, h=8, w=8, k=8, f=3, bias=True, activation="relu")
+    _, out = conv2d_tensors(spec, "c")
+    return lower(schedule_conv2d_opt(out, ConvTiling(w2vec=3, c1vec=2)), "conv3x3")
+
+
+class TestKernelEmission:
+    def test_signature(self):
+        src = generate_opencl(_opt_kernel())
+        assert src.startswith("kernel void conv3x3(")
+        assert "global float * restrict c_in" in src
+        assert "global float * restrict c" in src
+
+    def test_pragma_unroll(self):
+        src = generate_opencl(_opt_kernel())
+        assert "#pragma unroll" in src
+
+    def test_balanced_braces(self):
+        src = generate_opencl(_opt_kernel())
+        assert src.count("{") == src.count("}")
+
+    def test_register_declaration(self):
+        src = generate_opencl(_opt_kernel())
+        assert re.search(r"float c_acc\[3\];", src)
+
+    def test_scalar_args_for_symbolic(self):
+        handle, _, out = conv2d_symbolic(1, 1, "p", bias=False)
+        kern = lower(schedule_symbolic_conv(out, ConvTiling(w2vec=2), True), "p1")
+        src = generate_opencl(kern)
+        assert "const int n_c1" in src
+        assert "const int s_i0" in src
+
+    def test_float_literal_format(self):
+        src = generate_opencl(_opt_kernel())
+        assert "0.000000e+00f" in src  # accumulator init
+
+    def test_max_min_intrinsics(self):
+        src = generate_opencl(_opt_kernel())
+        assert "max(" in src  # relu epilogue
+
+
+class TestProgramEmission:
+    def _channel_program(self):
+        cin, mid = ir.Channel("c_in0", depth=32), ir.Channel("c_mid", depth=8)
+        a = ir.Buffer("a", (8,))
+        d = ir.Buffer("d", (8,))
+        i, j, l = ir.Var("i"), ir.Var("j"), ir.Var("l")
+        k1 = ir.Kernel("produce", [a], ir.For(i, 8, ir.ChannelWrite(cin, ir.Load(a, i))))
+        k2 = ir.Kernel(
+            "transform", [], ir.For(j, 8, ir.ChannelWrite(mid, cin.read() * 2.0)),
+            autorun=True,
+        )
+        k3 = ir.Kernel("consume", [d], ir.For(l, 8, ir.Store(d, l, mid.read())))
+        return ir.Program([k1, k2, k3], "pipe")
+
+    def test_channel_declarations(self):
+        src = generate_opencl(self._channel_program())
+        assert "#pragma OPENCL EXTENSION cl_intel_channels : enable" in src
+        assert re.search(r"channel float c_in0 __attribute__\(\(depth\(32\)\)\);", src)
+
+    def test_autorun_attributes(self):
+        src = generate_opencl(self._channel_program())
+        assert "__attribute__((autorun))" in src
+        assert "__attribute__((max_global_work_dim(0)))" in src
+
+    def test_channel_intrinsics(self):
+        src = generate_opencl(self._channel_program())
+        assert "write_channel_intel(c_mid" in src
+        assert "read_channel_intel(c_in0)" in src
+
+    def test_all_kernels_emitted(self):
+        src = generate_opencl(self._channel_program())
+        for name in ("produce", "transform", "consume"):
+            assert f"kernel void {name}(" in src
+
+    def test_bad_object_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_opencl("not a kernel")
+
+
+class TestFullDeploymentSource:
+    def test_lenet_source_emits(self):
+        from repro.device import STRATIX10_SX
+        from repro.flow import deploy_pipelined
+
+        d = deploy_pipelined("lenet5", STRATIX10_SX, "tvm_autorun")
+        src = d.opencl_source()
+        assert src.count("kernel void") == 9
+        assert "autorun" in src
+        assert src.count("{") == src.count("}")
+
+    def test_folded_source_emits(self):
+        from repro.device import STRATIX10_SX
+        from repro.flow import deploy_folded
+
+        d = deploy_folded("mobilenet_v1", STRATIX10_SX)
+        src = d.opencl_source()
+        assert "const int" in src  # parameterized kernels
+        assert src.count("{") == src.count("}")
+
+
+class TestBatchNormEmission:
+    def test_scale_shift_in_signature_and_epilogue(self):
+        spec = ConvSpec(
+            c1=4, h=8, w=8, k=8, f=3, bias=False, activation="relu",
+            batchnorm=True,
+        )
+        _, out = conv2d_tensors(spec, "c")
+        kern = lower(schedule_conv2d_opt(out, ConvTiling()), "k")
+        src = generate_opencl(kern)
+        assert "restrict c_scale" in src and "restrict c_shift" in src
+        assert "c_scale[" in src and "c_shift[" in src
+
+    def test_symbolic_weight_strides_partially_static(self):
+        """Listing 5.11 extended: only strides depending on runtime dims
+        stay symbolic — the filter-size strides are literals."""
+        handle, _, out = conv2d_symbolic(3, 1, "c", bias=False)
+        kern = lower(schedule_symbolic_conv(out, ConvTiling(c1vec=2), False), "k")
+        src = generate_opencl(kern)
+        assert "const int s_w0" in src  # depends on C1
+        assert "s_w1" not in src  # F*F is compile-time constant

@@ -1,0 +1,144 @@
+"""Board, transfer-model and runtime-simulation tests."""
+
+import pytest
+
+from repro.device import (
+    ALL_BOARDS,
+    ARRIA10,
+    STRATIX10_MX,
+    STRATIX10_SX,
+    board_by_name,
+    d2h_time_us,
+    effective_h2d_gbs,
+    h2d_time_us,
+)
+
+
+class TestBoards:
+    def test_lookup(self):
+        assert board_by_name("A10") is ARRIA10
+        with pytest.raises(KeyError):
+            board_by_name("ZYNQ")
+
+    def test_static_partition_shares_match_table_6_2(self):
+        # A10 static: 15% ALUTs, 16% RAMs; S10SX: 12%, 4%; S10MX: ~1%, 2%
+        assert abs(ARRIA10.static_aluts / ARRIA10.aluts - 0.15) < 0.01
+        assert abs(ARRIA10.static_rams / ARRIA10.rams - 0.16) < 0.01
+        assert abs(STRATIX10_SX.static_aluts / STRATIX10_SX.aluts - 0.12) < 0.01
+        assert STRATIX10_MX.static_aluts / STRATIX10_MX.aluts < 0.02
+
+    def test_resource_counts_match_table_6_2(self):
+        assert ARRIA10.dsps == 1518
+        assert STRATIX10_SX.dsps == 5760
+        assert STRATIX10_MX.dsps == 3960
+        assert STRATIX10_SX.rams == 11254
+
+    def test_bandwidths_match_table_6_1(self):
+        assert ARRIA10.peak_bw_gbs == 34.1
+        assert STRATIX10_SX.peak_bw_gbs == 76.8
+        assert STRATIX10_MX.peak_bw_gbs == 12.8  # one HBM pseudo-channel
+
+    def test_avail_below_total(self):
+        for b in ALL_BOARDS:
+            assert b.avail_aluts < b.aluts
+            assert b.avail_rams < b.rams
+
+
+class TestTransfers:
+    def test_monotonic_in_size(self):
+        for b in ALL_BOARDS:
+            assert h2d_time_us(b, 1 << 20) > h2d_time_us(b, 1 << 12)
+
+    def test_zero_size_free(self):
+        assert h2d_time_us(ARRIA10, 0) == 0.0
+        assert d2h_time_us(ARRIA10, 0) == 0.0
+
+    def test_small_transfers_latency_bound(self):
+        t = h2d_time_us(STRATIX10_SX, 64)
+        assert t >= STRATIX10_SX.transfer_latency_us
+
+    def test_effective_bw_approaches_peak(self):
+        bw = effective_h2d_gbs(STRATIX10_SX, 64 << 20)
+        assert bw > 0.8 * STRATIX10_SX.h2d_gbs
+
+    def test_mx_writes_pathological(self):
+        """The engineering-sample S10MX writes are far slower (Fig 6.2)."""
+        size = 3136  # a LeNet input
+        assert h2d_time_us(STRATIX10_MX, size) > 8 * h2d_time_us(STRATIX10_SX, size)
+
+
+class TestPipelinedSimulation:
+    def _deploy(self, level="tvm_autorun"):
+        from repro.flow import deploy_pipelined
+
+        return deploy_pipelined("lenet5", STRATIX10_SX, level)
+
+    def test_concurrent_not_slower(self):
+        d = self._deploy()
+        assert d.fps(concurrent=True) >= d.fps(concurrent=False)
+
+    def test_stage_times_recorded(self):
+        d = self._deploy()
+        r = d.run()
+        assert set(r.stage_times_us) == {
+            "conv1", "pool1", "conv2", "pool2", "flatten",
+            "dense1", "dense2", "dense3", "softmax",
+        }
+
+    def test_autorun_reduces_host_overhead(self):
+        from repro.flow import deploy_pipelined
+
+        ch = deploy_pipelined("lenet5", STRATIX10_SX, "channels")
+        ar = deploy_pipelined("lenet5", STRATIX10_SX, "autorun")
+        assert ar.run(False).host_overhead_us < ch.run(False).host_overhead_us
+
+    def test_gflops_consistent(self):
+        d = self._deploy()
+        r = d.run()
+        flops = d.graph.total_flops()
+        assert abs(r.gflops(flops) - flops / (r.time_per_image_us * 1e3)) < 1e-9
+
+    def test_event_profile_keys(self):
+        from repro.runtime import event_profile
+
+        prof = event_profile(self._deploy().run(False))
+        assert set(prof) == {"kernel_us", "write_us", "read_us", "overhead_us"}
+
+    def test_channels_pipeline_bottleneck(self):
+        """With channels + CE, frame time equals the bottleneck stage (or
+        host/transfer), not the sum of stages."""
+        d = self._deploy()
+        r = d.run(concurrent=True)
+        assert r.time_per_image_us < sum(r.stage_times_us.values())
+
+
+class TestFoldedSimulation:
+    def test_invocation_times_sum(self):
+        from repro.flow import deploy_folded
+
+        d = deploy_folded("mobilenet_v1", STRATIX10_SX)
+        r = d.run()
+        assert r.time_per_image_us > sum(r.stage_times_us.values()) * 0.5
+
+    def test_per_op_profile_shares_sum_to_one(self):
+        from repro.flow import deploy_folded
+
+        d = deploy_folded("mobilenet_v1", STRATIX10_SX)
+        prof = d.per_op()
+        assert abs(sum(r["time_share"] for r in prof.values()) - 1.0) < 1e-6
+
+    def test_per_op_rejects_pipelined(self):
+        from repro.errors import ReproError
+        from repro.flow import deploy_pipelined
+
+        d = deploy_pipelined("lenet5", STRATIX10_SX)
+        with pytest.raises(ReproError):
+            d.per_op()
+
+    def test_pad_has_zero_gflops(self):
+        from repro.flow import deploy_folded
+
+        d = deploy_folded("mobilenet_v1", STRATIX10_SX)
+        prof = d.per_op()
+        assert prof["pad"]["gflops"] == 0.0
+        assert prof["pad"]["time_share"] > 0.05  # and still costs real time

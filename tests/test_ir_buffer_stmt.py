@@ -1,0 +1,185 @@
+"""Unit tests for buffers, channels and statement IR."""
+
+import pytest
+
+import repro.ir as ir
+from repro.errors import IRError
+
+
+class TestBuffer:
+    def test_flatten_row_major(self):
+        b = ir.Buffer("b", (4, 5, 6))
+        idx = b.flatten_index([1, 2, 3])
+        assert ir.eval_int(idx) == 1 * 30 + 2 * 6 + 3
+
+    def test_flatten_vars(self):
+        b = ir.Buffer("b", (4, 6))
+        i, j = ir.Var("i"), ir.Var("j")
+        idx = b.flatten_index([i, j])
+        assert ir.eval_int(idx, {i: 2, j: 5}) == 17
+
+    def test_rank_mismatch(self):
+        b = ir.Buffer("b", (4, 6))
+        with pytest.raises(IRError):
+            b.flatten_index([1])
+
+    def test_num_elements(self):
+        assert ir.Buffer("b", (4, 6)).num_elements() == 24
+        assert ir.Buffer("b", (4, 6)).size_bytes() == 96
+
+    def test_symbolic_num_elements_none(self):
+        n = ir.Var("n")
+        assert ir.Buffer("b", (n, 6)).num_elements() is None
+
+    def test_bad_scope(self):
+        with pytest.raises(IRError):
+            ir.Buffer("b", (4,), scope="weird")
+
+    def test_non_positive_dim(self):
+        with pytest.raises(IRError):
+            ir.Buffer("b", (0,))
+
+    def test_with_scope(self):
+        b = ir.Buffer("b", (4,))
+        c = b.with_scope("local")
+        assert c.scope == "local" and c.shape == b.shape
+
+    def test_strided_flatten(self):
+        s0 = ir.Var("s0")
+        b = ir.Buffer("w", (ir.Var("m"), ir.Var("n")), strides=(s0, 1))
+        i, j = ir.Var("i"), ir.Var("j")
+        idx = b.flatten_index([i, j])
+        # innermost stride pinned to 1 -> coalescible
+        assert ir.stride_of(idx, j) == 1
+        assert ir.stride_of(idx, i) is None
+
+    def test_symbolic_inner_stride_defeats_coalescing(self):
+        s0, s1 = ir.Var("s0"), ir.Var("s1")
+        b = ir.Buffer("w", (ir.Var("m"), ir.Var("n")), strides=(s0, s1))
+        j = ir.Var("j")
+        idx = b.flatten_index([ir.Var("i"), j])
+        assert ir.stride_of(idx, j) is None
+
+    def test_getitem_builds_load(self):
+        b = ir.Buffer("b", (4, 6))
+        ld = b[1, 2]
+        assert isinstance(ld, ir.Load)
+        assert ir.eval_int(ld.index) == 8
+
+
+class TestChannel:
+    def test_depth(self):
+        ch = ir.Channel("c0", depth=8)
+        assert ch.depth == 8
+
+    def test_negative_depth(self):
+        with pytest.raises(IRError):
+            ir.Channel("c0", depth=-1)
+
+    def test_read_builds_expr(self):
+        ch = ir.Channel("c0")
+        assert isinstance(ch.read(), ir.ChannelRead)
+
+
+class TestStmt:
+    def test_seq_flattens(self):
+        b = ir.Buffer("b", (4,))
+        s1 = ir.Store(b, 0, 1.0)
+        s2 = ir.Store(b, 1, 2.0)
+        inner = ir.SeqStmt([s1, s2])
+        outer = ir.SeqStmt([inner, s1])
+        assert len(outer.stmts) == 3
+
+    def test_seq_helper_unwraps_single(self):
+        b = ir.Buffer("b", (4,))
+        s1 = ir.Store(b, 0, 1.0)
+        assert ir.seq(s1, None) is s1
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(IRError):
+            ir.seq()
+
+    def test_for_static_extent(self):
+        b = ir.Buffer("b", (4,))
+        i = ir.Var("i")
+        f = ir.For(i, 4, ir.Store(b, i, 0.0))
+        assert f.static_extent == 4
+
+    def test_for_symbolic_extent(self):
+        b = ir.Buffer("b", (ir.Var("n"),))
+        i, n = ir.Var("i"), ir.Var("n")
+        f = ir.For(i, n, ir.Store(b, i, 0.0))
+        assert f.static_extent is None
+
+    def test_allocate_rejects_global(self):
+        b = ir.Buffer("b", (4,))
+        with pytest.raises(IRError):
+            ir.Allocate(b, ir.Store(b, 0, 1.0))
+
+    def test_store_index_must_be_int(self):
+        b = ir.Buffer("b", (4,))
+        with pytest.raises(IRError):
+            ir.Store(b, ir.FloatImm(0.0), 1.0)
+
+
+class TestKernelValidation:
+    def test_undeclared_global_buffer_rejected(self):
+        b = ir.Buffer("b", (4,))
+        i = ir.Var("i")
+        body = ir.For(i, 4, ir.Store(b, i, 0.0))
+        with pytest.raises(IRError, match="not in the signature"):
+            ir.Kernel("k", [], body)
+
+    def test_unallocated_local_rejected(self):
+        b = ir.Buffer("b", (4,), scope="local")
+        i = ir.Var("i")
+        body = ir.For(i, 4, ir.Store(b, i, 0.0))
+        with pytest.raises(IRError, match="never allocated"):
+            ir.Kernel("k", [], body)
+
+    def test_free_var_needs_scalar_arg(self):
+        b = ir.Buffer("b", (4,))
+        i, n = ir.Var("i"), ir.Var("n")
+        body = ir.For(i, n, ir.Store(b, i, 0.0))
+        with pytest.raises(IRError, match="free variable"):
+            ir.Kernel("k", [b], body)
+        # with the scalar arg declared it's fine
+        k = ir.Kernel("k", [b], body, scalar_args=[n])
+        assert k.is_parameterized
+
+    def test_autorun_with_global_args_rejected(self):
+        b = ir.Buffer("b", (4,))
+        i = ir.Var("i")
+        body = ir.For(i, 4, ir.Store(b, i, 0.0))
+        with pytest.raises(IRError, match="autorun"):
+            ir.Kernel("k", [b], body, autorun=True)
+
+    def test_autorun_channel_only_ok(self):
+        cin, cout = ir.Channel("cin"), ir.Channel("cout")
+        i = ir.Var("i")
+        body = ir.For(i, 8, ir.ChannelWrite(cout, cin.read() * 2.0))
+        k = ir.Kernel("k", [], body, autorun=True)
+        reads, writes = k.channels()
+        assert reads == {cin} and writes == {cout}
+
+
+class TestProgram:
+    def _channel_kernel(self, name, cin, cout):
+        i = ir.Var("i")
+        body = ir.For(i, 8, ir.ChannelWrite(cout, cin.read() + 1.0))
+        return ir.Kernel(name, [], body, autorun=True)
+
+    def test_duplicate_names_rejected(self):
+        cin, mid, cout = ir.Channel("a"), ir.Channel("b"), ir.Channel("c")
+        k = self._channel_kernel("k", cin, mid)
+        with pytest.raises(IRError):
+            ir.Program([k, k])
+
+    def test_channel_validation(self):
+        a, b, c = ir.Channel("a"), ir.Channel("b"), ir.Channel("c")
+        k1 = self._channel_kernel("k1", a, b)
+        k2 = self._channel_kernel("k2", b, c)
+        prog = ir.Program([k1, k2])
+        with pytest.raises(IRError):
+            # channels a and c dangle (no producer / consumer)
+            prog.validate_channels()

@@ -1,0 +1,187 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+import repro.ir as ir
+from repro.errors import IRError
+
+
+class TestImmediates:
+    def test_int_imm(self):
+        e = ir.IntImm(5)
+        assert e.value == 5
+        assert e.dtype == ir.INT32
+
+    def test_float_imm(self):
+        e = ir.FloatImm(2.5)
+        assert e.value == 2.5
+        assert e.dtype == ir.FLOAT32
+
+    def test_int_imm_rejects_float(self):
+        with pytest.raises(IRError):
+            ir.IntImm(1.5)
+
+    def test_int_imm_rejects_bool(self):
+        with pytest.raises(IRError):
+            ir.IntImm(True)
+
+    def test_const_dispatch(self):
+        assert isinstance(ir.const(3), ir.IntImm)
+        assert isinstance(ir.const(3.0, ir.FLOAT32), ir.FloatImm)
+
+
+class TestOperatorSugar:
+    def test_add_builds_node(self):
+        v = ir.Var("x")
+        e = v + 1
+        assert isinstance(e, ir.Add)
+        assert isinstance(e.b, ir.IntImm)
+
+    def test_radd(self):
+        v = ir.Var("x")
+        e = 1 + v
+        assert isinstance(e, ir.Add)
+        assert isinstance(e.a, ir.IntImm)
+
+    def test_mul_int_dtype(self):
+        v = ir.Var("x")
+        assert (v * 2).dtype == ir.INT32
+
+    def test_mixed_dtype_promotes_to_float(self):
+        x = ir.Var("x", ir.FLOAT32)
+        i = ir.Var("i")
+        assert (x * i).dtype == ir.FLOAT32
+
+    def test_comparison_dtype_is_bool(self):
+        v = ir.Var("x")
+        assert (v < 3).dtype == ir.BOOL
+        assert (v >= 3).dtype == ir.BOOL
+
+    def test_neg(self):
+        v = ir.Var("x", ir.FLOAT32)
+        e = -v
+        assert isinstance(e, ir.Sub)
+
+    def test_floordiv_mod(self):
+        v = ir.Var("x")
+        assert isinstance(v // 4, ir.FloorDiv)
+        assert isinstance(v % 4, ir.Mod)
+
+
+class TestSelectAndCall:
+    def test_select_dtype(self):
+        c = ir.Var("i") < 3
+        s = ir.Select(c, ir.FloatImm(1.0), ir.FloatImm(0.0))
+        assert s.dtype == ir.FLOAT32
+
+    def test_select_mismatched_arms(self):
+        c = ir.Var("i") < 3
+        with pytest.raises(IRError):
+            ir.Select(c, ir.FloatImm(1.0), ir.IntImm(0))
+
+    def test_exp_intrinsic(self):
+        e = ir.exp(ir.FloatImm(1.0))
+        assert isinstance(e, ir.Call)
+        assert e.name == "exp"
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(IRError):
+            ir.Call("frobnicate", [ir.FloatImm(1.0)])
+
+
+class TestReduce:
+    def test_sum_reduce(self):
+        k = ir.reduce_axis(8, "k")
+        r = ir.Reduce("sum", ir.FloatImm(1.0), [k])
+        assert r.kind == "sum"
+        assert r.identity.value == 0.0
+
+    def test_max_identity_is_neg_inf_like(self):
+        k = ir.reduce_axis(8, "k")
+        r = ir.Reduce("max", ir.FloatImm(1.0), [k])
+        assert r.identity.value < -1e38
+
+    def test_combine(self):
+        k = ir.reduce_axis(8, "k")
+        r = ir.Reduce("max", ir.FloatImm(1.0), [k])
+        out = r.combine(ir.FloatImm(1.0), ir.FloatImm(2.0))
+        assert isinstance(out, ir.Max)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(IRError):
+            ir.Reduce("sum", ir.FloatImm(1.0), [])
+
+    def test_bad_kind_rejected(self):
+        k = ir.reduce_axis(8, "k")
+        with pytest.raises(IRError):
+            ir.Reduce("prod", ir.FloatImm(1.0), [k])
+
+
+class TestStructuralEqual:
+    def test_same_immediates(self):
+        assert ir.structural_equal(ir.IntImm(3), ir.IntImm(3))
+        assert not ir.structural_equal(ir.IntImm(3), ir.IntImm(4))
+
+    def test_var_identity(self):
+        x = ir.Var("x")
+        y = ir.Var("x")
+        assert ir.structural_equal(x, x)
+        assert not ir.structural_equal(x, y)
+
+    def test_tree(self):
+        x = ir.Var("x")
+        assert ir.structural_equal(x + 1, x + 1)
+        assert not ir.structural_equal(x + 1, x + 2)
+
+
+class TestAnalysis:
+    def test_eval_int_const(self):
+        x = ir.Var("x")
+        assert ir.eval_int((x + 1) * 2, {x: 3}) == 8
+
+    def test_eval_int_unbound_is_none(self):
+        x = ir.Var("x")
+        assert ir.eval_int(x + 1) is None
+
+    def test_stride_simple(self):
+        x = ir.Var("x")
+        assert ir.stride_of(x * 4 + 1, x) == 4
+
+    def test_stride_absent_var(self):
+        x, y = ir.Var("x"), ir.Var("y")
+        assert ir.stride_of(y * 4, x) == 0
+
+    def test_stride_symbolic_is_none(self):
+        x, s = ir.Var("x"), ir.Var("s")
+        assert ir.stride_of(x * s, x) is None
+
+    def test_stride_sum(self):
+        x = ir.Var("x")
+        assert ir.stride_of(x * 3 + x * 2, x) == 5
+
+    def test_free_vars(self):
+        x, y = ir.Var("x"), ir.Var("y")
+        assert ir.free_vars(x * 2 + y) == {x, y}
+
+    def test_count_flops(self):
+        a = ir.Var("a", ir.FLOAT32)
+        b = ir.Var("b", ir.FLOAT32)
+        # one mul + one add
+        assert ir.count_flops_expr(a * b + a) == 2
+
+    def test_int_arith_not_counted_as_flops(self):
+        i = ir.Var("i")
+        assert ir.count_flops_expr(i * 4 + 1) == 0
+
+
+class TestSubstitute:
+    def test_substitute_var(self):
+        x, y = ir.Var("x"), ir.Var("y")
+        out = ir.substitute(x + 1, {x: y * 2})
+        assert ir.structural_equal(out, y * 2 + 1)
+
+    def test_substitute_preserves_unmapped(self):
+        x, y = ir.Var("x"), ir.Var("y")
+        e = x + y
+        out = ir.substitute(e, {})
+        assert out is e

@@ -1,0 +1,98 @@
+"""Visitor/mutator infrastructure tests."""
+
+import numpy as np
+
+import repro.ir as ir
+from repro.ir.functor import ExprMutator, ExprVisitor, StmtVisitor, visit_exprs
+
+
+class TestVisitors:
+    def test_expr_visitor_counts_nodes(self):
+        x = ir.Var("x")
+        e = (x + 1) * (x + 2)
+
+        class Counter(ExprVisitor):
+            def __init__(self):
+                self.vars = 0
+
+            def visit_Var(self, v):
+                self.vars += 1
+
+        c = Counter()
+        c.visit(e)
+        assert c.vars == 2
+
+    def test_stmt_visitor_walks_expressions(self):
+        b = ir.Buffer("b", (4,))
+        i = ir.Var("i")
+        body = ir.For(i, 4, ir.Store(b, i, ir.Load(b, i) + 1.0))
+        loads = []
+
+        class L(StmtVisitor):
+            def visit_Load(self, e):
+                loads.append(e)
+
+        L().visit_stmt(body)
+        assert len(loads) == 1
+
+    def test_visit_exprs_helper(self):
+        b = ir.Buffer("b", (4,))
+        i = ir.Var("i")
+        body = ir.For(i, 4, ir.Store(b, i, ir.Load(b, i) * 2.0))
+        seen = []
+        visit_exprs(body, lambda e: seen.append(type(e).__name__))
+        assert "Mul" in seen and "Load" in seen
+
+
+class TestMutators:
+    def test_identity_preserves_sharing(self):
+        x = ir.Var("x")
+        e = x * 2 + 1
+        assert ExprMutator().mutate(e) is e
+
+    def test_substitute_stmt(self):
+        b = ir.Buffer("b", (4,))
+        i, j = ir.Var("i"), ir.Var("j")
+        body = ir.For(i, 4, ir.Store(b, i, ir.Cast(ir.FLOAT32, j)))
+        out = ir.substitute_stmt(body, {j: ir.IntImm(7)})
+        store = out.body
+        assert isinstance(store.value, ir.Cast)
+        assert isinstance(store.value.value, ir.IntImm)
+        assert store.value.value.value == 7
+
+    def test_mutate_rebuilds_minimal(self):
+        x, y = ir.Var("x"), ir.Var("y")
+        e = (x + 1) * (y + 2)
+        out = ir.substitute(e, {y: ir.IntImm(5)})
+        # untouched subtree shared
+        assert out.a is e.a
+        assert out.b is not e.b
+
+    def test_stmt_mutator_preserves_for_kind(self):
+        b = ir.Buffer("b", (4,))
+        i, j = ir.Var("i"), ir.Var("j")
+        body = ir.For(
+            i, 4, ir.Store(b, i, ir.Cast(ir.FLOAT32, j)),
+            kind=ir.ForKind.UNROLLED, unroll_factor=2,
+        )
+        out = ir.substitute_stmt(body, {j: ir.IntImm(1)})
+        assert out.kind is ir.ForKind.UNROLLED
+        assert out.unroll_factor == 2
+
+
+class TestPrinter:
+    def test_expr_str_precedence(self):
+        x = ir.Var("x")
+        s = ir.expr_str((x + 1) * 2)
+        assert s == "(x + 1) * 2"
+
+    def test_stmt_str_contains_pragma(self):
+        b = ir.Buffer("b", (4,))
+        i = ir.Var("i")
+        f = ir.For(i, 4, ir.Store(b, i, 0.0), kind=ir.ForKind.UNROLLED)
+        assert "#pragma unroll" in ir.stmt_str(f)
+
+    def test_select_printed(self):
+        x = ir.Var("x")
+        s = ir.expr_str(ir.Select(x < 2, ir.FloatImm(1.0), ir.FloatImm(0.0)))
+        assert "?" in s and ":" in s

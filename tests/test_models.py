@@ -1,0 +1,134 @@
+"""Network definitions match the thesis's published figures."""
+
+import numpy as np
+import pytest
+
+from repro.models import lenet5, mobilenet_v1, resnet, resnet18, resnet34
+from repro.relay import fuse_operators, init_params, run_fused_graph
+
+
+class TestLeNet:
+    def test_flops_near_paper(self):
+        # thesis: 389K FP ops
+        assert abs(lenet5().total_flops() - 389e3) / 389e3 < 0.1
+
+    def test_params_near_paper(self):
+        # thesis: 60K parameters
+        assert abs(lenet5().total_params() - 60e3) / 60e3 < 0.1
+
+    def test_layer_shapes_match_table_2_1(self):
+        g = lenet5()
+        assert g["conv1"].out_shape == (6, 26, 26)
+        assert g["pool1"].out_shape == (6, 13, 13)
+        assert g["conv2"].out_shape == (16, 11, 11)
+        assert g["pool2"].out_shape == (16, 5, 5)
+        assert g["flatten"].out_shape == (400,)
+        assert g["dense1"].out_shape == (120,)
+        assert g["dense2"].out_shape == (84,)
+        assert g["dense3"].out_shape == (10,)
+
+    def test_kernel_inventory(self):
+        fused = fuse_operators(lenet5())
+        ops = [fn.op for fn in fused]
+        assert ops == [
+            "conv2d", "maxpool", "conv2d", "maxpool", "flatten",
+            "dense", "dense", "dense", "softmax",
+        ]
+
+
+class TestMobileNet:
+    def test_flops_near_paper(self):
+        # thesis: 1.11G FP ops
+        assert abs(mobilenet_v1().total_flops() - 1.11e9) / 1.11e9 < 0.05
+
+    def test_params_near_paper(self):
+        # thesis: 4.2M parameters
+        assert abs(mobilenet_v1().total_params() - 4.2e6) / 4.2e6 < 0.05
+
+    def test_1x1_share_of_macs(self):
+        # thesis: 1x1 convolutions are 94.86% of multiply-adds
+        g = mobilenet_v1()
+        total = sum(
+            n.flops() for n in g.nodes if n.op in ("conv2d", "depthwise_conv2d", "dense")
+        )
+        one_by_one = sum(
+            n.flops()
+            for n in g.nodes
+            if n.op == "conv2d" and n.attrs["field"] == 1
+        )
+        assert 0.92 < one_by_one / total < 0.97
+
+    def test_table_2_2_shapes(self):
+        g = mobilenet_v1()
+        assert g["conv1"].out_shape == (32, 112, 112)
+        assert g["conv2"].out_shape == (64, 112, 112)
+        assert g["conv3_dw"].out_shape == (64, 56, 56)
+        assert g["conv14"].out_shape == (1024, 7, 7)
+        assert g["fc"].out_shape == (1000,)
+
+    def test_13_separable_blocks(self):
+        g = mobilenet_v1()
+        dws = [n for n in g.nodes if n.op == "depthwise_conv2d"]
+        assert len(dws) == 13
+
+
+class TestResNet:
+    def test_flops_near_paper(self):
+        assert abs(resnet18().total_flops() - 3.66e9) / 3.66e9 < 0.05
+        assert abs(resnet34().total_flops() - 7.36e9) / 7.36e9 < 0.05
+
+    def test_params_near_paper(self):
+        assert abs(resnet18().total_params() - 11.7e6) / 11.7e6 < 0.05
+        assert abs(resnet34().total_params() - 21.8e6) / 21.8e6 < 0.05
+
+    def test_table_2_3_shapes(self):
+        g = resnet18()
+        assert g["conv1"].out_shape == (64, 112, 112)
+        assert g["pool1"].out_shape == (64, 56, 56)
+        assert g["conv3_1_conv1"].out_shape == (128, 28, 28)
+        assert g["conv5_2_conv2"].out_shape == (512, 7, 7)
+
+    def test_block_counts(self):
+        g18, g34 = resnet18(), resnet34()
+        adds18 = [n for n in g18.nodes if n.op == "add"]
+        adds34 = [n for n in g34.nodes if n.op == "add"]
+        assert len(adds18) == 8  # 2+2+2+2 blocks
+        assert len(adds34) == 16  # 3+4+6+3 blocks
+
+    def test_projection_shortcuts(self):
+        g = resnet18()
+        projs = [n for n in g.nodes if n.name.endswith("_proj")]
+        assert len(projs) == 3  # one per downsampling stage
+
+    def test_kernel_inventory_matches_table_6_13(self):
+        fused = fuse_operators(resnet18())
+        kinds = set()
+        for fn in fused:
+            if fn.op == "conv2d":
+                a = fn.anchor.attrs
+                kinds.add((a["field"], a["stride"]))
+        assert (7, 2) in kinds  # 7x7 conv
+        assert (3, 1) in kinds and (3, 2) in kinds
+        assert (1, 2) in kinds  # 1x1 projections
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(Exception):
+            resnet(101)
+
+
+class TestForwardPasses:
+    def test_lenet_forward_finite(self):
+        g = lenet5()
+        p = init_params(g, 0)
+        x = np.random.default_rng(0).standard_normal((1, 28, 28)).astype(np.float32)
+        y = run_fused_graph(fuse_operators(g), x, p)
+        assert y.shape == (10,)
+        assert np.isfinite(y).all()
+        assert abs(y.sum() - 1.0) < 1e-4  # softmax output
+
+    def test_lenet_deterministic(self):
+        g = lenet5()
+        p = init_params(g, 0)
+        x = np.random.default_rng(3).standard_normal((1, 28, 28)).astype(np.float32)
+        fg = fuse_operators(g)
+        assert np.array_equal(run_fused_graph(fg, x, p), run_fused_graph(fg, x, p))

@@ -1,0 +1,240 @@
+"""Reference-operator tests, including brute-force and property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.errors import ReproError
+
+rng = np.random.default_rng(42)
+
+
+def _brute_conv(x, w, b, stride, pad):
+    xp = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    k, c, f, _ = w.shape
+    ho = (xp.shape[1] - f) // stride + 1
+    wo = (xp.shape[2] - f) // stride + 1
+    out = np.zeros((k, ho, wo), np.float32)
+    for kk in range(k):
+        for i in range(ho):
+            for j in range(wo):
+                win = xp[:, i * stride : i * stride + f, j * stride : j * stride + f]
+                out[kk, i, j] = (win * w[kk]).sum()
+    if b is not None:
+        out += b[:, None, None]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_brute_force(self, stride, pad):
+        x = rng.standard_normal((3, 11, 11)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+        got = nn.conv2d(x, w, b, stride, pad)
+        ref = _brute_conv(x, w, b, stride, pad)
+        assert got.shape == ref.shape
+        assert np.allclose(got, ref, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        x = rng.standard_normal((3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((5, 4, 3, 3)).astype(np.float32)
+        with pytest.raises(ReproError, match="channel mismatch"):
+            nn.conv2d(x, w)
+
+    def test_1x1_is_channel_mix(self):
+        x = rng.standard_normal((4, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((8, 4, 1, 1)).astype(np.float32)
+        got = nn.conv2d(x, w)
+        ref = np.einsum("chw,kc->khw", x, w[:, :, 0, 0])
+        assert np.allclose(got, ref, atol=1e-4)
+
+    def test_requires_chw(self):
+        with pytest.raises(ReproError):
+            nn.conv2d(np.zeros((8, 8), np.float32), np.zeros((1, 1, 3, 3), np.float32))
+
+    def test_out_size_floor(self):
+        assert nn.conv2d_out_size(56, 1, 2, 0) == 28
+        assert nn.conv2d_out_size(28, 3, 1, 1) == 28
+        with pytest.raises(ReproError):
+            nn.conv2d_out_size(2, 5, 1, 0)
+
+
+class TestDepthwise:
+    def test_matches_per_channel_conv(self):
+        x = rng.standard_normal((4, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        got = nn.depthwise_conv2d(x, w, stride=2)
+        for c in range(4):
+            ref = _brute_conv(x[c : c + 1], w[c : c + 1], None, 2, 0)
+            assert np.allclose(got[c], ref[0], atol=1e-4)
+
+    def test_3d_weight_accepted(self):
+        x = rng.standard_normal((2, 5, 5)).astype(np.float32)
+        w4 = rng.standard_normal((2, 1, 3, 3)).astype(np.float32)
+        assert np.allclose(
+            nn.depthwise_conv2d(x, w4), nn.depthwise_conv2d(x, w4[:, 0])
+        )
+
+    def test_bad_weight_shape(self):
+        x = rng.standard_normal((2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        with pytest.raises(ReproError):
+            nn.depthwise_conv2d(x, w)
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = nn.maxpool2d(x, 2, 2)
+        assert np.allclose(out[0], [[5, 7], [13, 15]])
+
+    def test_avgpool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = nn.avgpool2d(x, 2, 2)
+        assert np.allclose(out[0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avgpool(self):
+        x = rng.standard_normal((3, 5, 5)).astype(np.float32)
+        assert np.allclose(nn.global_avgpool(x), x.mean(axis=(1, 2)), atol=1e-6)
+
+    def test_overlapping_stride(self):
+        x = rng.standard_normal((1, 5, 5)).astype(np.float32)
+        out = nn.maxpool2d(x, 3, 2)
+        assert out.shape == (1, 2, 2)
+        assert out[0, 0, 0] == x[0, :3, :3].max()
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1, 0, 2], np.float32)
+        assert np.allclose(nn.relu(x), [0, 0, 2])
+
+    def test_relu6(self):
+        x = np.array([-1, 3, 9], np.float32)
+        assert np.allclose(nn.relu6(x), [0, 3, 6])
+
+    def test_softmax_normalizes(self):
+        x = rng.standard_normal(10).astype(np.float32)
+        s = nn.softmax(x)
+        assert abs(s.sum() - 1.0) < 1e-5
+        assert (s >= 0).all()
+
+    def test_softmax_stability(self):
+        # huge inputs must not overflow thanks to the subtract-max trick
+        x = np.array([1000.0, 1000.0], np.float32)
+        s = nn.softmax(x)
+        assert np.isfinite(s).all()
+        assert np.allclose(s, [0.5, 0.5])
+
+    def test_softmax_requires_1d(self):
+        with pytest.raises(ReproError):
+            nn.softmax(np.zeros((2, 2), np.float32))
+
+
+class TestPadFlattenDense:
+    def test_pad_symmetric(self):
+        x = np.ones((1, 2, 2), np.float32)
+        out = nn.pad2d(x, 1)
+        assert out.shape == (1, 4, 4)
+        assert out.sum() == 4
+
+    def test_pad_asymmetric(self):
+        x = np.ones((1, 2, 2), np.float32)
+        out = nn.pad2d(x, (0, 1))
+        assert out.shape == (1, 3, 3)
+        assert out[0, 2].sum() == 0 and out[0, 0].sum() == 2
+
+    def test_pad_zero_is_identity(self):
+        x = rng.standard_normal((2, 3, 3)).astype(np.float32)
+        assert nn.pad2d(x, 0) is x
+
+    def test_flatten_row_major(self):
+        x = np.arange(12, dtype=np.float32).reshape(2, 2, 3)
+        assert np.allclose(nn.flatten(x), np.arange(12))
+
+    def test_dense(self):
+        x = np.array([1, 2], np.float32)
+        w = np.array([[1, 0], [0, 1], [1, 1]], np.float32)
+        b = np.array([0, 0, 1], np.float32)
+        assert np.allclose(nn.dense(x, w, b), [1, 2, 4])
+
+    def test_dense_shape_check(self):
+        with pytest.raises(ReproError):
+            nn.dense(np.zeros(3, np.float32), np.zeros((2, 4), np.float32))
+
+    def test_residual_add_shape_check(self):
+        with pytest.raises(ReproError):
+            nn.residual_add(
+                np.zeros((1, 2, 2), np.float32), np.zeros((1, 3, 3), np.float32)
+            )
+
+
+class TestBatchNorm:
+    def test_identity_params(self):
+        x = rng.standard_normal((2, 4, 4)).astype(np.float32)
+        one = np.ones(2, np.float32)
+        zero = np.zeros(2, np.float32)
+        out = nn.batchnorm_inference(x, one, zero, zero, one, eps=0.0)
+        assert np.allclose(out, x, atol=1e-6)
+
+    def test_fold_batchnorm_equivalent(self):
+        x = rng.standard_normal((3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        gamma = rng.uniform(0.5, 2, 4).astype(np.float32)
+        beta = rng.standard_normal(4).astype(np.float32)
+        mean = rng.standard_normal(4).astype(np.float32)
+        var = rng.uniform(0.5, 2, 4).astype(np.float32)
+        ref = nn.batchnorm_inference(nn.conv2d(x, w), gamma, beta, mean, var)
+        wf, bf = nn.fold_batchnorm(w, None, gamma, beta, mean, var)
+        got = nn.conv2d(x, wf, bf)
+        assert np.allclose(got, ref, atol=1e-3)
+
+
+class TestProperties:
+    @given(
+        c=st.integers(1, 4),
+        h=st.integers(3, 10),
+        f=st.integers(1, 3),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conv_linearity(self, c, h, f, seed):
+        """conv(a*x) == a*conv(x) (convolution is linear, bias-free)."""
+        r = np.random.default_rng(seed)
+        x = r.standard_normal((c, h, h)).astype(np.float32)
+        w = r.standard_normal((2, c, f, f)).astype(np.float32)
+        y1 = nn.conv2d(x * 2.0, w)
+        y2 = nn.conv2d(x, w) * 2.0
+        assert np.allclose(y1, y2, rtol=1e-4, atol=1e-4)
+
+    @given(h=st.integers(2, 8), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_maxpool_bounds(self, h, seed):
+        """Pooled maxima lie within the input's range."""
+        r = np.random.default_rng(seed)
+        x = r.standard_normal((2, 2 * h, 2 * h)).astype(np.float32)
+        out = nn.maxpool2d(x, 2, 2)
+        assert out.max() <= x.max() + 1e-6
+        assert out.min() >= x.min() - 1e-6
+
+    @given(n=st.integers(2, 40), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_invariance_to_shift(self, n, seed):
+        """softmax(x + c) == softmax(x)."""
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(n).astype(np.float32)
+        assert np.allclose(nn.softmax(x), nn.softmax(x + 3.0), atol=1e-5)
+
+    @given(
+        pad=st.integers(0, 3),
+        h=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pad_preserves_sum(self, pad, h, seed):
+        r = np.random.default_rng(seed)
+        x = r.standard_normal((2, h, h)).astype(np.float32)
+        assert abs(nn.pad2d(x, pad).sum() - x.sum()) < 1e-3

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on core compiler invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.ir as ir
+from repro import nn
+from repro.aoc import DEFAULT_CONSTANTS, KernelAnalysis
+from repro.schedule import lower
+from repro.topi import (
+    ConvSpec,
+    ConvTiling,
+    DenseSpec,
+    conv2d_tensors,
+    dense_tensors,
+    schedule_conv2d_opt,
+    schedule_dense_opt,
+)
+
+
+def _divisors(n, cap=8):
+    return [d for d in range(1, min(n, cap) + 1) if n % d == 0]
+
+
+class TestScheduleCorrectnessProperty:
+    """Any legal tiling of the conv schedule computes the reference conv.
+
+    This is the reproduction's master invariant: schedule transformations
+    are semantics-preserving for every configuration, not just the ones
+    the thesis picked.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_conv_tilings(self, data):
+        c1 = data.draw(st.sampled_from([1, 2, 3, 4]), label="c1")
+        k = data.draw(st.sampled_from([1, 2, 4]), label="k")
+        f = data.draw(st.sampled_from([1, 3]), label="f")
+        s = data.draw(st.sampled_from([1, 2]), label="s")
+        h = data.draw(st.sampled_from([7, 8, 9, 11]), label="h")
+        if h < f:
+            return
+        spec = ConvSpec(c1=c1, h=h, w=h, k=k, f=f, s=s, bias=True, activation="relu")
+        w2 = data.draw(st.sampled_from(_divisors(spec.wo)), label="w2vec")
+        cv = data.draw(st.sampled_from(_divisors(c1)), label="c1vec")
+        tiling = ConvTiling(w2vec=w2, c1vec=cv)
+
+        _, out = conv2d_tensors(spec, "c")
+        kern = lower(schedule_conv2d_opt(out, tiling), "k")
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((c1, h, h)).astype(np.float32)
+        wgt = rng.standard_normal((k, c1, f, f)).astype(np.float32)
+        b = rng.standard_normal(k).astype(np.float32)
+        bufs = {
+            "c_in": x.ravel(), "c_w": wgt.ravel(), "c_b": b,
+            "c": np.zeros(k * spec.ho * spec.wo, np.float32),
+        }
+        ir.run_kernel(kern, bufs)
+        ref = np.maximum(nn.conv2d(x, wgt, b, s), 0)
+        assert np.allclose(bufs["c"].reshape(ref.shape), ref, atol=1e-3)
+
+    @given(
+        n=st.sampled_from([4, 8, 12, 24]),
+        m=st.integers(1, 6),
+        factor=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_dense_unrolls(self, n, m, factor, seed):
+        if n % factor:
+            return
+        spec = DenseSpec(n=n, m=m, bias=True)
+        _, out = dense_tensors(spec, "fc")
+        kern = lower(schedule_dense_opt(out, factor), "k")
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n).astype(np.float32)
+        w = rng.standard_normal((m, n)).astype(np.float32)
+        b = rng.standard_normal(m).astype(np.float32)
+        bufs = {"fc_in": x, "fc_w": w.ravel(), "fc_b": b, "fc": np.zeros(m, np.float32)}
+        ir.run_kernel(kern, bufs)
+        assert np.allclose(bufs["fc"], nn.dense(x, w, b), atol=1e-4)
+
+
+class TestBufferProperties:
+    @given(
+        dims=st.lists(st.integers(1, 9), min_size=1, max_size=4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_flatten_index_bijective(self, dims, seed):
+        """Row-major flattening maps distinct multi-indices to distinct
+        flat offsets within the buffer size."""
+        buf = ir.Buffer("b", tuple(dims))
+        rng = np.random.default_rng(seed)
+        n = buf.num_elements()
+        idx1 = [int(rng.integers(0, d)) for d in dims]
+        idx2 = [int(rng.integers(0, d)) for d in dims]
+        f1 = ir.eval_int(buf.flatten_index(idx1))
+        f2 = ir.eval_int(buf.flatten_index(idx2))
+        assert 0 <= f1 < n and 0 <= f2 < n
+        assert (f1 == f2) == (idx1 == idx2)
+        assert f1 == np.ravel_multi_index(idx1, dims)
+
+    @given(
+        h=st.integers(1, 16),
+        w=st.integers(1, 16),
+        i=st.integers(0, 15),
+        j=st.integers(0, 15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_strided_flatten_matches_row_major(self, h, w, i, j):
+        if i >= h or j >= w:
+            return
+        plain = ir.Buffer("a", (h, w))
+        strided = ir.Buffer("b", (h, w), strides=(w, 1))
+        f1 = ir.eval_int(plain.flatten_index([i, j]))
+        f2 = ir.eval_int(strided.flatten_index([i, j]))
+        assert f1 == f2
+
+
+class TestAnalysisProperties:
+    @given(
+        a=st.integers(-20, 20),
+        b=st.integers(-20, 20),
+        c=st.integers(1, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stride_linearity(self, a, b, c):
+        """stride(a*x + b*y + c, x) == a for distinct vars x, y."""
+        x, y = ir.Var("x"), ir.Var("y")
+        e = x * a + y * b + c
+        assert ir.stride_of(e, x) == a
+        assert ir.stride_of(e, y) == b
+
+    @given(vals=st.lists(st.integers(-100, 100), min_size=2, max_size=2))
+    @settings(max_examples=30, deadline=None)
+    def test_eval_int_correct(self, vals):
+        x = ir.Var("x")
+        a, b = vals
+        e = (x + a) * 3 - b
+        assert ir.eval_int(e, {x: 5}) == (5 + a) * 3 - b
+
+
+class TestAOCMonotonicity:
+    @given(c1vec=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=8, deadline=None)
+    def test_more_unroll_never_more_cycles(self, c1vec):
+        spec = ConvSpec(c1=8, h=10, w=10, k=4, f=3)
+        _, out = conv2d_tensors(spec, "c")
+        kern = lower(schedule_conv2d_opt(out, ConvTiling(c1vec=c1vec)), "k")
+        base_kern = lower(schedule_conv2d_opt(out, ConvTiling()), "k2")
+        a = KernelAnalysis(kern)
+        base = KernelAnalysis(base_kern)
+        assert a.compute_cycles() <= base.compute_cycles()
+        assert a.dsp_count() >= base.dsp_count()
+
+    @given(
+        n=st.integers(1, 64),
+        m=st.integers(1, 64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flops_scale_with_shape(self, n, m):
+        spec = DenseSpec(n=4 * n, m=m, bias=False)
+        _, out = dense_tensors(spec, "fc")
+        kern = lower(schedule_dense_opt(out, 1), "k")
+        a = KernelAnalysis(kern)
+        assert a.flops() == 2 * 4 * n * m  # mul+add per MAC

@@ -1,0 +1,172 @@
+"""Graph IR, fusion pass and functional-execution tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.relay import (
+    GraphBuilder,
+    fuse_operators,
+    init_params,
+    run_fused_graph,
+    run_graph,
+)
+
+
+def _simple_cnn():
+    g = GraphBuilder("t")
+    x = g.input((2, 8, 8))
+    x = g.conv2d(x, filters=4, field=3, name="c1")
+    x = g.relu(x)
+    x = g.maxpool(x, 2, 2)
+    x = g.flatten(x)
+    x = g.dense(x, 5, name="fc")
+    x = g.softmax(x)
+    return g.build()
+
+
+class TestBuilder:
+    def test_shapes(self):
+        g = _simple_cnn()
+        assert g["c1"].out_shape == (4, 6, 6)
+        assert g["fc"].out_shape == (5,)
+
+    def test_duplicate_names_rejected(self):
+        g = GraphBuilder("t")
+        x = g.input((1, 4, 4))
+        g.conv2d(x, 2, 3, name="c")
+        g.conv2d(x, 2, 3, name="c")
+        with pytest.raises(ReproError, match="duplicate"):
+            g.build()
+
+    def test_dense_needs_flat_input(self):
+        g = GraphBuilder("t")
+        x = g.input((1, 4, 4))
+        with pytest.raises(ReproError):
+            g.dense(x, 10)
+
+    def test_add_shape_check(self):
+        g = GraphBuilder("t")
+        x = g.input((1, 4, 4))
+        y = g.conv2d(x, 2, 3)
+        with pytest.raises(ReproError):
+            g.add(x, y)
+
+    def test_pad_asymmetric_shape(self):
+        g = GraphBuilder("t")
+        x = g.input((1, 4, 4))
+        p = g.pad(x, (0, 1))
+        assert p.out_shape == (1, 5, 5)
+
+    def test_input_property(self):
+        g = _simple_cnn()
+        assert g.input.op == "input"
+        assert g.output.op == "softmax"
+
+    def test_topological_check(self):
+        from repro.relay.graph import Graph, OpNode
+
+        a = OpNode("a", "input", [], out_shape=(1, 4, 4))
+        b = OpNode("b", "relu", [a], out_shape=(1, 4, 4))
+        with pytest.raises(ReproError, match="topologically"):
+            Graph([b, a])
+
+
+class TestCounts:
+    def test_conv_flops(self):
+        g = _simple_cnn()
+        # 2*K*Ho*Wo*C1*F*F = 2*4*36*2*9
+        assert g["c1"].flops() == 2 * 4 * 36 * 2 * 9
+
+    def test_dense_params(self):
+        g = _simple_cnn()
+        assert g["fc"].num_params() == 5 * (4 * 3 * 3) + 5
+
+    def test_pad_has_no_flops_or_params(self):
+        g = GraphBuilder("t")
+        x = g.input((1, 4, 4))
+        p = g.pad(x, 1)
+        assert p.flops() == 0 and p.num_params() == 0
+
+    def test_param_shapes_keys(self):
+        g = _simple_cnn()
+        shapes = g.param_shapes()
+        assert "c1.weight" in shapes and "fc.bias" in shapes
+
+
+class TestFusion:
+    def test_relu_fused_into_conv(self):
+        fused = fuse_operators(_simple_cnn())
+        convs = [fn for fn in fused if fn.op == "conv2d"]
+        assert convs[0].activation == "relu"
+
+    def test_kernel_count(self):
+        fused = fuse_operators(_simple_cnn())
+        # conv, pool, flatten, dense, softmax
+        assert len(fused) == 5
+
+    def test_residual_fuses_with_extra_input(self):
+        g = GraphBuilder("t")
+        x = g.input((2, 6, 6))
+        sc = x
+        y = g.pad(x, 1)
+        y = g.conv2d(y, 2, 3, name="c1")
+        y = g.add(y, sc)
+        y = g.relu(y)
+        fused = fuse_operators(g.build())
+        conv = [fn for fn in fused if fn.op == "conv2d"][0]
+        assert conv.has_residual
+        assert conv.activation == "relu"
+        assert [n.name for n in conv.extra_inputs] == ["data"]
+
+    def test_fused_flops_match_graph(self):
+        g = _simple_cnn()
+        assert fuse_operators(g).total_flops() == g.total_flops()
+
+    def test_injective_chain_without_anchor_rejected(self):
+        g = GraphBuilder("t")
+        x = g.input((1, 4, 4))
+        g.relu(x)  # relu directly on the graph input
+        with pytest.raises(ReproError, match="cannot fuse"):
+            fuse_operators(g.build())
+
+
+class TestExecution:
+    def test_fused_equals_unfused(self):
+        g = _simple_cnn()
+        p = init_params(g, 1)
+        x = np.random.default_rng(0).standard_normal((2, 8, 8)).astype(np.float32)
+        y1 = run_graph(g, x, p)
+        y2 = run_fused_graph(fuse_operators(g), x, p)
+        assert np.allclose(y1, y2, atol=1e-5)
+
+    def test_residual_network_executes(self):
+        g = GraphBuilder("t")
+        x = g.input((2, 6, 6))
+        sc = x
+        y = g.pad(x, 1)
+        y = g.conv2d(y, 2, 3, name="c1")
+        y = g.add(y, sc)
+        y = g.relu(y)
+        graph = g.build()
+        p = init_params(graph, 2)
+        xin = np.random.default_rng(1).standard_normal((2, 6, 6)).astype(np.float32)
+        y1 = run_graph(graph, xin, p)
+        y2 = run_fused_graph(fuse_operators(graph), xin, p)
+        assert np.allclose(y1, y2, atol=1e-5)
+        assert (y1 >= 0).all()  # final relu applied
+
+    def test_init_params_deterministic(self):
+        g = _simple_cnn()
+        p1 = init_params(g, 7)
+        p2 = init_params(g, 7)
+        for k in p1:
+            assert np.array_equal(p1[k], p2[k])
+
+    def test_record_activations(self):
+        g = _simple_cnn()
+        p = init_params(g, 1)
+        x = np.zeros((2, 8, 8), np.float32)
+        rec = {}
+        run_graph(g, x, p, record=rec)
+        assert "c1" in rec and rec["c1"].shape == (4, 6, 6)

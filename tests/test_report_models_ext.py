@@ -1,0 +1,105 @@
+"""Report CLI and extension-model (ResNet-50) tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.device import STRATIX10_SX
+from repro.flow import deploy_folded
+from repro.models import resnet50
+from repro.relay import fuse_operators, init_params, run_fused_graph, run_graph
+
+
+class TestResNet50:
+    def test_counts_match_reference(self):
+        g = resnet50()
+        # published: ~7.7G FLOPs (MAC x2), 25.5M params; our conv-only
+        # accounting lands slightly above on FLOPs
+        assert abs(g.total_params() - 25.5e6) / 25.5e6 < 0.03
+        assert 7.0e9 < g.total_flops() < 8.6e9
+
+    def test_bottleneck_structure(self):
+        g = resnet50()
+        # 16 bottleneck blocks, each with three convs + possibly a proj
+        convs = [n for n in g.nodes if n.op == "conv2d"]
+        assert len(convs) == 1 + 16 * 3 + 4  # stem + blocks + projections
+
+    def test_expansion_factor(self):
+        g = resnet50()
+        assert g["conv2_1_conv3"].out_shape[0] == 256  # 64 * 4
+        assert g["conv5_3_conv3"].out_shape[0] == 2048
+
+    def test_functional_fused_equals_unfused(self):
+        g = resnet50()
+        p = init_params(g, 0)
+        x = (np.random.default_rng(1).standard_normal((3, 224, 224)) * 0.05).astype(
+            np.float32
+        )
+        y1 = run_graph(g, x, p)
+        y2 = run_fused_graph(fuse_operators(g), x, p)
+        assert np.allclose(y1, y2, atol=1e-4)
+
+    def test_deploys_on_s10sx(self):
+        d = deploy_folded("resnet50", STRATIX10_SX)
+        assert 0.2 < d.fps() < 20
+        # pointwise convolutions dominate the bottleneck architecture
+        prof = d.per_op()
+        one_by_one = sum(
+            r["time_us"] for k, r in prof.items() if k.startswith("1x1")
+        )
+        total = sum(r["time_us"] for r in prof.values())
+        assert one_by_one / total > 0.3
+
+
+class TestReportCLI:
+    def test_report_runs_and_reproduces(self):
+        from repro import report
+
+        buf = io.StringIO()
+        code = report.main(buf)
+        text = buf.getvalue()
+        assert code == 0
+        assert "story reproduces" in text
+        assert "FPGA wins" in text and "CPU wins" in text
+        assert "no fit" in text
+
+
+class TestAlexNet:
+    def test_counts_near_published(self):
+        from repro.models import alexnet
+
+        g = alexnet()
+        assert 1.2e9 < g.total_flops() < 1.6e9  # DNNWeaver lists 1.33G
+        assert abs(g.total_params() - 61e6) / 61e6 < 0.05
+
+    def test_geometry(self):
+        from repro.models import alexnet
+
+        g = alexnet()
+        assert g["conv1"].out_shape == (64, 55, 55)
+        assert g["pool2"].out_shape == (192, 13, 13)
+        assert g["flatten"].out_shape == (256 * 36,)
+
+    def test_functional(self):
+        import numpy as np
+
+        from repro.models import alexnet
+        from repro.relay import fuse_operators, init_params, run_fused_graph, run_graph
+
+        g = alexnet()
+        p = init_params(g, 0)
+        x = (np.random.default_rng(0).standard_normal((3, 224, 224)) * 0.05).astype(
+            np.float32
+        )
+        y1 = run_graph(g, x, p)
+        y2 = run_fused_graph(fuse_operators(g), x, p)
+        assert np.allclose(y1, y2, atol=1e-4)
+        assert abs(y1.sum() - 1.0) < 1e-3
+
+    def test_deploys(self):
+        d = deploy_folded("alexnet", STRATIX10_SX)
+        assert d.fps() > 3
+        # the dense layers carry most parameters but little runtime
+        prof = d.per_op()
+        assert prof["dense"]["time_share"] < 0.5

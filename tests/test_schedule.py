@@ -1,0 +1,219 @@
+"""Schedule-primitive tests: split, tile, reorder, unroll, cache_write."""
+
+import pytest
+
+import repro.ir as ir
+from repro.errors import ScheduleError
+from repro.schedule import create_schedule
+
+
+def _conv_like():
+    A = ir.placeholder((8, 16), "A")
+    k = ir.reduce_axis(16, "k")
+    C = ir.compute(
+        (8,), lambda i: ir.sum(A[i, k] * 2.0, [k]), "C", inputs=[A]
+    )
+    return C
+
+
+class TestSplit:
+    def test_split_replaces_axis(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        (k,) = st.reduce_axes
+        ko, ki = st.split(k, 4)
+        names = [ax.name for ax in st.leaf_axes]
+        assert "ko" in names and "ki" in names
+        assert k not in st.leaf_axes
+
+    def test_split_extents(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        ko, ki = st.split(st.reduce_axes[0], 4)
+        assert ko.static_extent == 4
+        assert ki.static_extent == 4
+
+    def test_split_indivisible_rejected(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        with pytest.raises(ScheduleError, match="not divisible"):
+            st.split(st.reduce_axes[0], 5)
+
+    def test_split_bad_factor(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        with pytest.raises(ScheduleError):
+            st.split(st.reduce_axes[0], 0)
+
+    def test_split_unknown_axis(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        foreign = ir.reduce_axis(4, "zz")
+        with pytest.raises(ScheduleError, match="not a leaf axis"):
+            st.split(foreign, 2)
+
+    def test_chained_split_substitution(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        k = st.reduce_axes[0]
+        parent_var = k.var
+        ko, ki = st.split(k, 8)
+        kio, kii = st.split(ki, 2)
+        sub = st.substitution()
+        # parent maps to an expression over current leaf vars only
+        leaf_vars = {ax.var for ax in st.leaf_axes}
+        assert ir.free_vars(sub[parent_var]) <= leaf_vars
+        # evaluate: ko=1, kio=2, kii=1 -> k = 1*8 + 2*2 + 1 = 13
+        val = ir.eval_int(sub[parent_var], {ko.var: 1, kio.var: 2, kii.var: 1})
+        assert val == 13
+
+    def test_symbolic_split(self):
+        n = ir.Var("n")
+        A = ir.Tensor("A", (n,))
+        k = ir.reduce_axis(n, "k")
+        C = ir.compute((1,), lambda z: ir.sum(A[k], [k]), "C", inputs=[A])
+        sch = create_schedule(C)
+        st = sch.stages[0]
+        ko, ki = st.split(st.reduce_axes[0], 4)
+        assert ko.static_extent is None
+        assert ki.static_extent == 4
+
+
+class TestUnroll:
+    def test_unroll_marks_axis(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        k = st.reduce_axes[0]
+        st.unroll(k)
+        assert st.is_unrolled(k)
+
+    def test_full_unroll_symbolic_rejected(self):
+        n = ir.Var("n")
+        A = ir.Tensor("A", (n,))
+        k = ir.reduce_axis(n, "k")
+        C = ir.compute((1,), lambda z: ir.sum(A[k], [k]), "C", inputs=[A])
+        sch = create_schedule(C)
+        st = sch.stages[0]
+        with pytest.raises(ScheduleError, match="constant bounds"):
+            st.unroll(st.reduce_axes[0])
+
+
+class TestReorderAndWriteback:
+    def _conv3(self):
+        I = ir.placeholder((4, 8, 8), "I")
+        rc = ir.reduce_axis(4, "rc")
+        return ir.compute(
+            (2, 8, 8),
+            lambda f, y, x: ir.sum(I[rc, y, x] * 1.0, [rc]),
+            "O",
+            inputs=[I],
+            axis_names=["f", "y", "x"],
+        )
+
+    def test_reorder_permutes(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        st.reorder(y, f)
+        assert st.leaf_axes[0] is y
+        assert st.leaf_axes[1] is f
+
+    def test_reorder_duplicate_rejected(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        with pytest.raises(ScheduleError):
+            st.reorder(f, f)
+
+    def test_writeback_at_reduce_axis_rejected(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        with pytest.raises(ScheduleError, match="data axis"):
+            st.writeback_at(st.reduce_axes[0])
+
+    def test_outer_and_region_default(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        outer, region = st.outer_and_region()
+        # default: all data axes outer, reduce axes in region
+        assert [ax.name for ax in region] == ["rc"]
+        assert len(outer) == 3
+
+    def test_outer_and_region_at_f(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        st.writeback_at(f)
+        outer, region = st.outer_and_region()
+        assert outer == [f]
+        assert [ax.name for ax in region] == [y.name, x.name, "rc"]
+
+    def test_region_without_reduce_rejected(self):
+        I = ir.placeholder((4,), "I")
+        C = ir.compute((4,), lambda i: I[i] * 2.0, "C", inputs=[I])
+        sch = create_schedule(C)
+        st = sch.stages[0]
+        outer, region = st.outer_and_region()
+        assert region == []  # injective op: no region
+
+    def test_writeback_tracks_split(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        st.writeback_at(x)
+        xo, xi = st.split(x, 4)
+        assert st.writeback_axis is xo
+
+
+class TestTile:
+    def test_tile_order(self):
+        I = ir.placeholder((8, 8), "I")
+        C = ir.compute(
+            (8, 8), lambda y, x: I[y, x] * 2.0, "C", inputs=[I], axis_names=["y", "x"]
+        )
+        sch = create_schedule(C)
+        st = sch.stages[0]
+        y, x = st.data_axes
+        yo, xo, yi, xi = st.tile(y, x, 2, 4)
+        assert st.leaf_axes == [yo, xo, yi, xi]
+        assert yo.static_extent == 4 and yi.static_extent == 2
+        assert xo.static_extent == 2 and xi.static_extent == 4
+
+
+class TestCacheAndReads:
+    def test_cache_write_scope(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        st.cache_write("register")
+        assert st.scratch_scope == "register"
+
+    def test_cache_write_bad_scope(self):
+        sch = create_schedule(_conv_like())
+        with pytest.raises(ScheduleError):
+            sch.stages[0].cache_write("global")
+
+    def test_cache_read_requires_input(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        other = ir.placeholder((4,), "other")
+        with pytest.raises(ScheduleError):
+            st.cache_read(other)
+
+    def test_cache_read_records_name(self):
+        C = _conv_like()
+        sch = create_schedule(C)
+        st = sch.stages[0]
+        st.cache_read(st.op.inputs[0])
+        assert st.cached_reads == ["A"]
+
+    def test_placeholder_cannot_be_scheduled(self):
+        A = ir.placeholder((4,), "A")
+        with pytest.raises(ScheduleError):
+            create_schedule(A)
+
+    def test_axis_by_name(self):
+        sch = create_schedule(_conv_like())
+        st = sch.stages[0]
+        assert st.axis_by_name("k") is st.reduce_axes[0]
+        with pytest.raises(ScheduleError):
+            st.axis_by_name("nope")

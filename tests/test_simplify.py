@@ -1,0 +1,204 @@
+"""IR simplification-pass tests."""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro.ir.simplify import simplify_kernel, simplify_stmt
+
+
+def _collect(kind, body):
+    out = []
+
+    def walk(s):
+        if isinstance(s, kind):
+            out.append(s)
+        for c in s.children():
+            walk(c)
+
+    walk(body)
+    return out
+
+
+class TestConstantFolding:
+    def _store_of(self, value):
+        b = ir.Buffer("b", (8,))
+        i = ir.Var("i")
+        return b, ir.For(i, 8, ir.Store(b, i, value))
+
+    def test_int_arith_folds(self):
+        b = ir.Buffer("b", (8,))
+        i = ir.Var("i")
+        s = ir.Store(b, (i * ir.IntImm(1)) + ir.IntImm(0), ir.FloatImm(1.0))
+        out = simplify_stmt(s)
+        assert isinstance(out.index, ir.Var)
+
+    def test_mul_by_zero(self):
+        x = ir.Var("x")
+        b = ir.Buffer("b", (8,))
+        s = ir.Store(b, x * 0 + 3, ir.FloatImm(1.0))
+        out = simplify_stmt(s)
+        assert ir.eval_int(out.index) == 3
+
+    def test_float_add_zero(self):
+        b = ir.Buffer("b", (8,))
+        v = ir.Var("v", ir.FLOAT32)
+        _, nest = self._store_of(v + 0.0)
+        out = simplify_stmt(nest)
+        assert isinstance(out.body.value, ir.Var)
+
+    def test_min_max_fold(self):
+        e = ir.Max(ir.IntImm(3), ir.Min(ir.IntImm(7), ir.IntImm(5)))
+        b = ir.Buffer("b", (8,))
+        out = simplify_stmt(ir.Store(b, e, ir.FloatImm(0.0)))
+        assert ir.eval_int(out.index) == 5
+
+    def test_floordiv_identity(self):
+        x = ir.Var("x")
+        b = ir.Buffer("b", (8,))
+        out = simplify_stmt(ir.Store(b, x // 1, ir.FloatImm(0.0)))
+        assert isinstance(out.index, ir.Var)
+
+
+class TestLoopCollapse:
+    def test_trip1_loop_removed(self):
+        b = ir.Buffer("b", (8,))
+        i, j = ir.Var("i"), ir.Var("j")
+        nest = ir.For(i, 8, ir.For(j, 1, ir.Store(b, i + j, ir.FloatImm(1.0))))
+        out = simplify_stmt(nest)
+        fors = _collect(ir.For, out)
+        assert len(fors) == 1
+        # j substituted by 0: index is just i
+        assert isinstance(out.body.index, ir.Var)
+
+    def test_nested_trip1_chain(self):
+        b = ir.Buffer("b", (8,))
+        i, j, k = ir.Var("i"), ir.Var("j"), ir.Var("k")
+        nest = ir.For(
+            i, 1, ir.For(j, 1, ir.For(k, 8, ir.Store(b, i * 64 + j * 8 + k, 0.0)))
+        )
+        out = simplify_stmt(nest)
+        fors = _collect(ir.For, out)
+        assert len(fors) == 1
+        assert fors[0].loop_var is k
+
+    def test_normal_loops_untouched(self):
+        b = ir.Buffer("b", (8,))
+        i = ir.Var("i")
+        nest = ir.For(i, 8, ir.Store(b, i, 0.0))
+        assert simplify_stmt(nest) is nest
+
+    def test_semantics_preserved(self):
+        """Simplified kernels compute identical results."""
+        from repro.schedule import lower
+        from repro.topi import ConvSpec, ConvTiling, conv2d_tensors, schedule_conv2d_opt
+
+        spec = ConvSpec(c1=3, h=6, w=6, k=2, f=3, bias=False)
+        _, out_t = conv2d_tensors(spec, "c")
+        # c1vec == c1 so lowering produces a trip-1 rco loop pre-simplify
+        kern = lower(schedule_conv2d_opt(out_t, ConvTiling(c1vec=3)), "k")
+        rng = np.random.default_rng(0)
+        bufs = {
+            "c_in": rng.standard_normal(3 * 36).astype(np.float32),
+            "c_w": rng.standard_normal(2 * 27).astype(np.float32),
+            "c": np.zeros(2 * 16, np.float32),
+        }
+        b2 = {k: v.copy() for k, v in bufs.items()}
+        ir.run_kernel(kern, bufs)
+        resimplified = simplify_kernel(kern)
+        ir.run_kernel(resimplified, b2)
+        assert np.array_equal(bufs["c"], b2["c"])
+
+
+class TestBranchFolding:
+    def test_true_branch_selected(self):
+        b = ir.Buffer("b", (4,))
+        s = ir.IfThenElse(
+            ir.IntImm(3) < 5, ir.Store(b, 0, 1.0), ir.Store(b, 0, 2.0)
+        )
+        out = simplify_stmt(s)
+        assert isinstance(out, ir.Store)
+        assert out.value.value == 1.0
+
+    def test_false_branch_selected(self):
+        b = ir.Buffer("b", (4,))
+        s = ir.IfThenElse(
+            ir.IntImm(9) < 5, ir.Store(b, 0, 1.0), ir.Store(b, 0, 2.0)
+        )
+        out = simplify_stmt(s)
+        assert out.value.value == 2.0
+
+
+class TestKernelSimplify:
+    def test_lowering_emits_no_trip1_loops(self):
+        from repro.schedule import lower
+        from repro.topi import ConvSpec, ConvTiling, conv2d_tensors, schedule_conv1x1_opt
+
+        spec = ConvSpec(c1=8, h=4, w=4, k=8, f=1, bias=False)
+        _, out = conv2d_tensors(spec, "p")
+        kern = lower(schedule_conv1x1_opt(out, ConvTiling(c1vec=2)), "k")
+        for f in _collect(ir.For, kern.body):
+            assert f.static_extent != 1
+
+    def test_signature_preserved(self):
+        from repro.schedule import lower
+        from repro.topi import ConvSpec, ConvTiling, conv2d_tensors, schedule_conv2d_opt
+
+        spec = ConvSpec(c1=4, h=8, w=8, k=4, f=3)
+        _, out = conv2d_tensors(spec, "c")
+        kern = lower(schedule_conv2d_opt(out, ConvTiling()), "k")
+        simplified = simplify_kernel(kern)
+        assert [b.name for b in simplified.args] == [b.name for b in kern.args]
+        assert simplified.output_buffer == kern.output_buffer
+
+
+class TestSimplifyProperties:
+    """Hypothesis: simplification never changes evaluated values."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _random_int_expr(draw, st, depth=0):
+        import repro.ir as ir
+
+        x = TestSimplifyProperties._x
+        if depth > 3 or draw(st.booleans()):
+            return draw(
+                st.sampled_from(
+                    [x, ir.IntImm(draw(st.integers(-10, 10)))]
+                )
+            )
+        a = TestSimplifyProperties._random_int_expr(draw, st, depth + 1)
+        b = TestSimplifyProperties._random_int_expr(draw, st, depth + 1)
+        op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+        import repro.ir as ir
+
+        return {
+            "add": ir.Add, "sub": ir.Sub, "mul": ir.Mul,
+            "min": ir.Min, "max": ir.Max,
+        }[op](a, b)
+
+    @given(data=st.data(), xval=st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_random_exprs_evaluate_identically(self, data, xval):
+        import numpy as np
+
+        import repro.ir as ir
+        from repro.ir.simplify import simplify_stmt
+
+        TestSimplifyProperties._x = ir.Var("x")
+        expr = self._random_int_expr(data.draw, self.st)
+        b = ir.Buffer("b", (1,))
+        # clamp the index into the buffer: store to 0, put expr in value
+        store = ir.Store(b, 0, ir.Cast(ir.FLOAT32, expr))
+        simplified = simplify_stmt(store)
+        k1 = ir.Kernel("k1", [b], ir.For(TestSimplifyProperties._x, 8, store))
+        k2 = ir.Kernel("k2", [b], ir.For(TestSimplifyProperties._x, 8, simplified))
+        buf1 = {"b": np.zeros(1, np.float32)}
+        buf2 = {"b": np.zeros(1, np.float32)}
+        # run only the xval-th iteration's effect by shrinking the loop:
+        # simpler — run the full loop; last iteration wins either way
+        ir.run_kernel(k1, buf1)
+        ir.run_kernel(k2, buf2)
+        assert buf1["b"][0] == buf2["b"][0]

@@ -1,0 +1,215 @@
+"""TOPI operator correctness: every op's schedules vs the NumPy reference."""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro import nn
+from repro.schedule import create_schedule, lower
+from repro.topi import (
+    ConvSpec,
+    ConvTiling,
+    DenseSpec,
+    PoolSpec,
+    conv2d_tensors,
+    dense_tensors,
+    depthwise_tensors,
+    flatten_tensors,
+    gap_tensors,
+    pad_tensors,
+    pool_tensors,
+    schedule_conv1x1_opt,
+    schedule_conv2d_opt,
+    schedule_dense_naive,
+    schedule_dense_opt,
+    schedule_depthwise_naive,
+    schedule_depthwise_opt,
+    schedule_pool_naive,
+    schedule_pool_opt,
+    schedule_transform,
+    softmax_kernel_licm,
+    softmax_kernel_naive,
+)
+
+rng = np.random.default_rng(5)
+
+
+def run(kern, bufs, bindings=None):
+    b = {k: v.copy() for k, v in bufs.items()}
+    ir.run_kernel(kern, b, bindings=bindings)
+    return b
+
+
+class TestConv1x1:
+    def test_tiled_all_dims(self):
+        spec = ConvSpec(c1=8, h=4, w=4, k=8, f=1, bias=True, activation="relu")
+        _, out = conv2d_tensors(spec, "p")
+        kern = lower(schedule_conv1x1_opt(out, ConvTiling(w2vec=2, c2vec=4, c1vec=2)), "k")
+        x = rng.standard_normal((8, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((8, 8, 1, 1)).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        got = run(kern, {"p_in": x.ravel(), "p_w": w.ravel(), "p_b": b,
+                         "p": np.zeros(8 * 16, np.float32)})["p"]
+        ref = np.maximum(nn.conv2d(x, w, b), 0)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4)
+
+    def test_requires_f1(self):
+        from repro.errors import ScheduleError
+
+        spec = ConvSpec(c1=4, h=6, w=6, k=4, f=3)
+        _, out = conv2d_tensors(spec, "c")
+        with pytest.raises(ScheduleError, match="F=1"):
+            schedule_conv1x1_opt(out, ConvTiling())
+
+    def test_register_tile_shape(self):
+        spec = ConvSpec(c1=8, h=4, w=4, k=8, f=1, bias=False)
+        _, out = conv2d_tensors(spec, "p")
+        kern = lower(schedule_conv1x1_opt(out, ConvTiling(w2vec=4, c2vec=2)), "k")
+        (tile,) = kern.local_buffers()
+        assert sorted(tile.shape) == [2, 4]
+
+
+class TestDepthwise:
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_matches_reference(self, stride):
+        h = 9 if stride == 2 else 8
+        spec = ConvSpec(c1=3, h=h, w=h, k=3, f=3, s=stride, bias=True,
+                        activation="relu6")
+        _, out = depthwise_tensors(spec, "d")
+        kern = lower(schedule_depthwise_opt(out, ConvTiling(w2vec=1)), "k")
+        x = rng.standard_normal((3, h, h)).astype(np.float32)
+        w = rng.standard_normal((3, 1, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        got = run(kern, {"d_in": x.ravel(), "d_w": w.ravel(), "d_b": b,
+                         "d": np.zeros(3 * spec.ho * spec.wo, np.float32)})["d"]
+        ref = np.clip(nn.depthwise_conv2d(x, w, b, stride), 0, 6)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4)
+
+    def test_naive_matches_reference(self):
+        spec = ConvSpec(c1=2, h=6, w=6, k=2, f=3, bias=False)
+        _, out = depthwise_tensors(spec, "d")
+        kern = lower(schedule_depthwise_naive(out), "k")
+        x = rng.standard_normal((2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((2, 1, 3, 3)).astype(np.float32)
+        got = run(kern, {"d_in": x.ravel(), "d_w": w.ravel(),
+                         "d": np.zeros(2 * 16, np.float32)})["d"]
+        ref = nn.depthwise_conv2d(x, w)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4)
+
+
+class TestDense:
+    def test_naive_and_opt_match(self):
+        spec = DenseSpec(n=12, m=5, bias=True, activation="relu")
+        _, out = dense_tensors(spec, "fc")
+        x = rng.standard_normal(12).astype(np.float32)
+        w = rng.standard_normal((5, 12)).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+        ref = np.maximum(nn.dense(x, w, b), 0)
+        bufs = {"fc_in": x, "fc_w": w.ravel(), "fc_b": b,
+                "fc": np.zeros(5, np.float32)}
+        for sch in (schedule_dense_naive(out), schedule_dense_opt(out, 4)):
+            got = run(lower(sch, "k"), bufs)["fc"]
+            assert np.allclose(got, ref, atol=1e-5)
+
+    def test_opt_caches_input(self):
+        spec = DenseSpec(n=8, m=4)
+        _, out = dense_tensors(spec, "fc")
+        kern = lower(schedule_dense_opt(out, 2), "k")
+        assert "fc_in" in kern.cached_reads
+
+
+class TestPooling:
+    @pytest.mark.parametrize("kind", ["max", "avg"])
+    @pytest.mark.parametrize("sched", [schedule_pool_naive, schedule_pool_opt])
+    def test_matches_reference(self, kind, sched):
+        spec = PoolSpec(c=3, h=6, w=6, field=2, stride=2, kind=kind)
+        _, out = pool_tensors(spec, "p")
+        kern = lower(sched(out), "k")
+        x = rng.standard_normal((3, 6, 6)).astype(np.float32)
+        got = run(kern, {"p_in": x.ravel(), "p": np.zeros(3 * 9, np.float32)})["p"]
+        ref = nn.maxpool2d(x, 2, 2) if kind == "max" else nn.avgpool2d(x, 2, 2)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-5)
+
+    def test_gap(self):
+        _, out = gap_tensors(4, 5, 5, "g")
+        kern = lower(schedule_pool_opt(out), "k")
+        x = rng.standard_normal((4, 5, 5)).astype(np.float32)
+        got = run(kern, {"g_in": x.ravel(), "g": np.zeros(4, np.float32)})["g"]
+        assert np.allclose(got, nn.global_avgpool(x), atol=1e-5)
+
+    def test_bad_kind(self):
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            pool_tensors(PoolSpec(c=1, h=4, w=4, field=2, stride=2, kind="median"), "p")
+
+
+class TestSoftmax:
+    def test_naive_and_licm_match(self):
+        x = rng.standard_normal(16).astype(np.float32)
+        ref = nn.softmax(x)
+        for builder in (softmax_kernel_naive, softmax_kernel_licm):
+            kern = builder(16, "s", "k")
+            got = run(kern, {"s_in": x, "s_norm": np.zeros(16, np.float32)})["s_norm"]
+            assert np.allclose(got, ref, atol=1e-6)
+
+    def test_naive_recomputes_inside_loop(self):
+        """Listing 5.7 structure: stages nested in the normalization loop."""
+        kern = softmax_kernel_naive(8, "s", "k")
+        assert isinstance(kern.body, ir.For)  # i1 is the outermost loop
+        # LICM variant starts with a sequence of hoisted stages
+        kern2 = softmax_kernel_licm(8, "s2", "k2")
+        assert isinstance(kern2.body, ir.SeqStmt)
+
+    def test_naive_costs_n_times_more(self):
+        from repro.aoc import KernelAnalysis
+
+        naive = KernelAnalysis(softmax_kernel_naive(64, "s", "k"))
+        licm = KernelAnalysis(softmax_kernel_licm(64, "s2", "k2"))
+        assert naive.compute_cycles() > 20 * licm.compute_cycles()
+
+
+class TestTransforms:
+    def test_pad(self):
+        _, out = pad_tensors(2, 4, 4, 1, 2, "pd")
+        kern = lower(schedule_transform(out), "k")
+        x = rng.standard_normal((2, 4, 4)).astype(np.float32)
+        got = run(kern, {"pd_in": x.ravel(), "pd": np.zeros(2 * 49, np.float32)})["pd"]
+        assert np.allclose(got.reshape(2, 7, 7), nn.pad2d(x, (1, 2)))
+
+    def test_flatten(self):
+        _, out = flatten_tensors(2, 3, 4, "fl")
+        kern = lower(schedule_transform(out), "k")
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        got = run(kern, {"fl_in": x.ravel(), "fl": np.zeros(24, np.float32)})["fl"]
+        assert np.allclose(got, x.ravel())
+
+    def test_transforms_are_pure(self):
+        from repro.aoc import KernelAnalysis
+
+        _, out = pad_tensors(2, 4, 4, 1, 1, "pd")
+        a = KernelAnalysis(lower(schedule_transform(out), "k"))
+        assert a.is_pure_transform()
+        assert a.uses_select
+
+    def test_flatten_uses_div_mod(self):
+        from repro.aoc import KernelAnalysis
+
+        _, out = flatten_tensors(2, 3, 4, "fl")
+        a = KernelAnalysis(lower(schedule_transform(out), "k"))
+        assert a.uses_mod
+
+
+class TestConvSpecGeometry:
+    def test_output_size(self):
+        spec = ConvSpec(c1=1, h=10, w=10, k=1, f=3, s=2)
+        assert spec.ho == 4 and spec.wo == 4
+
+    def test_macs(self):
+        spec = ConvSpec(c1=2, h=5, w=5, k=3, f=3)
+        assert spec.macs == 3 * 9 * 2 * 9
+
+    def test_tiling_dsp_count(self):
+        t = ConvTiling(w2vec=7, c2vec=16, c1vec=4)
+        assert t.dsp_per_cycle(1) == 7 * 16 * 4
+        assert ConvTiling(c1vec=3).dsp_per_cycle(3) == 27

@@ -1,0 +1,183 @@
+"""Parameterized (symbolic-shape) kernel tests — thesis Sections 4.9/5.3."""
+
+import numpy as np
+import pytest
+
+import repro.ir as ir
+from repro import nn
+from repro.schedule import create_schedule, lower
+from repro.topi import (
+    ConvTiling,
+    conv2d_symbolic,
+    depthwise_symbolic,
+    pad_symbolic,
+    schedule_symbolic_conv,
+)
+
+
+def _run(kern, bufs, bindings):
+    b = dict(bufs)
+    ir.run_kernel(kern, b, bindings=bindings)
+    return b
+
+
+class TestSymbolicConv:
+    def _kernel(self, tiling=ConvTiling(w2vec=2, c2vec=2, c1vec=2), **kw):
+        handle, _, out = conv2d_symbolic(1, 1, "p", bias=False, **kw)
+        sch = schedule_symbolic_conv(out, tiling, is_1x1=True)
+        return handle, lower(sch, "k")
+
+    def test_is_parameterized(self):
+        _, kern = self._kernel()
+        assert kern.is_parameterized
+        assert len(kern.scalar_args) >= 6
+
+    def test_one_kernel_many_shapes(self):
+        """The same kernel executes layers of different shapes — the core
+        of folded execution."""
+        handle, kern = self._kernel()
+        rng = np.random.default_rng(0)
+        for (c1, h, k) in [(4, 4, 8), (8, 6, 4), (2, 8, 2)]:
+            x = rng.standard_normal((c1, h, h)).astype(np.float32)
+            w = rng.standard_normal((k, c1, 1, 1)).astype(np.float32)
+            got = _run(
+                kern,
+                {"p_in": x.ravel(), "p_w": w.ravel(),
+                 "p": np.zeros(k * h * h, np.float32)},
+                handle.bindings(c1, h, h, k),
+            )["p"]
+            ref = nn.conv2d(x, w)
+            assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4), (c1, h, k)
+
+    def test_strided_3x3(self):
+        handle, _, out = conv2d_symbolic(3, 2, "c", bias=True, activation="relu")
+        sch = schedule_symbolic_conv(out, ConvTiling(w2vec=1, c1vec=2), is_1x1=False)
+        kern = lower(sch, "k")
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((6, 4, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(6).astype(np.float32)
+        got = _run(
+            kern,
+            {"c_in": x.ravel(), "c_w": w.ravel(), "c_b": b,
+             "c": np.zeros(6 * 16, np.float32)},
+            handle.bindings(4, 9, 9, 6),
+        )["c"]
+        ref = np.maximum(nn.conv2d(x, w, b, stride=2), 0)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4)
+
+    def test_residual_symbolic(self):
+        handle, _, out = conv2d_symbolic(
+            1, 1, "r", bias=False, activation="relu", residual=True
+        )
+        sch = schedule_symbolic_conv(out, ConvTiling(), is_1x1=True)
+        kern = lower(sch, "k")
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 4, 1, 1)).astype(np.float32)
+        res = rng.standard_normal((4, 4, 4)).astype(np.float32)
+        got = _run(
+            kern,
+            {"r_in": x.ravel(), "r_w": w.ravel(), "r_res": res.ravel(),
+             "r": np.zeros(64, np.float32)},
+            handle.bindings(4, 4, 4, 4),
+        )["r"]
+        ref = np.maximum(nn.conv2d(x, w) + res, 0)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4)
+
+
+class TestSymbolicDepthwise:
+    @pytest.mark.parametrize("stride,h", [(1, 8), (2, 9)])
+    def test_matches_reference(self, stride, h):
+        handle, _, out = depthwise_symbolic(3, stride, "d", bias=True,
+                                            activation="relu6")
+        sch = schedule_symbolic_conv(out, ConvTiling(w2vec=1), is_1x1=False)
+        kern = lower(sch, "k")
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((3, h, h)).astype(np.float32)
+        w = rng.standard_normal((3, 1, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        ho = (h - 3) // stride + 1
+        got = _run(
+            kern,
+            {"d_in": x.ravel(), "d_w": w.ravel(), "d_b": b,
+             "d": np.zeros(3 * ho * ho, np.float32)},
+            handle.bindings(3, h, h),
+        )["d"]
+        ref = np.clip(nn.depthwise_conv2d(x, w, b, stride), 0, 6)
+        assert np.allclose(got.reshape(ref.shape), ref, atol=1e-4)
+
+
+class TestSymbolicPad:
+    @pytest.mark.parametrize("before,after", [(1, 1), (0, 1), (2, 3)])
+    def test_matches_reference(self, before, after):
+        handle, _, out = pad_symbolic(before, after, "pd")
+        kern = lower(create_schedule(out), "k")
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((2, 5, 5)).astype(np.float32)
+        t = before + after
+        got = _run(
+            kern,
+            {"pd_in": x.ravel(), "pd": np.zeros(2 * (5 + t) ** 2, np.float32)},
+            handle.bindings(2, 5, 5),
+        )["pd"]
+        ref = nn.pad2d(x, (before, after))
+        assert np.allclose(got.reshape(ref.shape), ref)
+
+
+class TestStridePinning:
+    """Listing 5.11: pinning the innermost stride to 1 restores coalescing."""
+
+    def _lsus(self, pin):
+        from repro.aoc import KernelAnalysis
+
+        handle, _, out = conv2d_symbolic(1, 1, "p", bias=False,
+                                         pin_unit_stride=pin)
+        sch = schedule_symbolic_conv(out, ConvTiling(w2vec=4), is_1x1=True)
+        kern = lower(sch, "k")
+        return KernelAnalysis(kern)
+
+    def test_pinned_coalesces_input_reads(self):
+        a = self._lsus(pin=True)
+        in_reads = [l for l in a.lsus if l.buffer_name == "p_in" and not l.is_store]
+        assert any(l.width_elems >= 4 for l in in_reads)
+
+    def test_unpinned_replicates(self):
+        a = self._lsus(pin=False)
+        in_reads = [l for l in a.lsus if l.buffer_name == "p_in" and not l.is_store]
+        assert all(l.width_elems == 1 for l in in_reads)
+        assert any(l.replicas >= 4 for l in in_reads)
+
+    def test_unpinned_still_correct(self):
+        handle, _, out = conv2d_symbolic(1, 1, "p", bias=False,
+                                         pin_unit_stride=False)
+        sch = schedule_symbolic_conv(out, ConvTiling(w2vec=2), is_1x1=True)
+        kern = lower(sch, "k")
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 4, 1, 1)).astype(np.float32)
+        got = _run(
+            kern,
+            {"p_in": x.ravel(), "p_w": w.ravel(), "p": np.zeros(64, np.float32)},
+            handle.bindings(4, 4, 4, 4),
+        )["p"]
+        assert np.allclose(got.reshape(4, 4, 4), nn.conv2d(x, w), atol=1e-4)
+
+
+class TestBindings:
+    def test_unknown_var_rejected(self):
+        from repro.errors import ScheduleError
+        from repro.topi.symbolic import SymbolicShapes
+
+        sh = SymbolicShapes()
+        sh.var("n_c1")
+        with pytest.raises(ScheduleError):
+            sh.bind(bogus=3)
+
+    def test_bindings_cover_scalar_args(self):
+        handle, _, out = conv2d_symbolic(3, 1, "c")
+        sch = schedule_symbolic_conv(out, ConvTiling(), is_1x1=False)
+        kern = lower(sch, "k")
+        binds = handle.bindings(4, 8, 8, 2)
+        bound = set(binds)
+        assert set(kern.scalar_args) <= bound

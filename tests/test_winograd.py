@@ -1,0 +1,112 @@
+"""Winograd F(2x2,3x3) algorithm and projection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.device import STRATIX10_SX
+from repro.errors import ReproError
+from repro.flow import deploy_folded, deploy_pipelined
+from repro.nn.winograd import (
+    winograd_conv2d,
+    winograd_savings,
+    winograd_weight_transform,
+)
+from repro.perf import layer_accounting, project_winograd
+
+rng = np.random.default_rng(0)
+
+
+class TestAlgorithm:
+    @pytest.mark.parametrize("c,h,w,k,pad", [
+        (1, 4, 4, 1, 0),
+        (3, 8, 8, 4, 0),
+        (2, 9, 9, 3, 1),
+        (4, 7, 11, 2, 0),  # odd output dims exercise the crop path
+    ])
+    def test_matches_direct_convolution(self, c, h, w, k, pad):
+        x = rng.standard_normal((c, h, w)).astype(np.float32)
+        wt = rng.standard_normal((k, c, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(k).astype(np.float32)
+        got = winograd_conv2d(x, wt, b, pad=pad)
+        ref = nn.conv2d(x, wt, b, stride=1, pad=pad)
+        assert got.shape == ref.shape
+        assert np.allclose(got, ref, atol=1e-3)
+
+    @given(
+        c=st.integers(1, 4),
+        h=st.integers(4, 12),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_shapes(self, c, h, k, seed):
+        r = np.random.default_rng(seed)
+        x = r.standard_normal((c, h, h)).astype(np.float32)
+        wt = r.standard_normal((k, c, 3, 3)).astype(np.float32)
+        got = winograd_conv2d(x, wt)
+        ref = nn.conv2d(x, wt)
+        assert np.allclose(got, ref, atol=1e-2)
+
+    def test_weight_transform_shape(self):
+        wt = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        u = winograd_weight_transform(wt)
+        assert u.shape == (4, 3, 4, 4)
+
+    def test_rejects_non_3x3(self):
+        with pytest.raises(ReproError):
+            winograd_weight_transform(np.zeros((2, 2, 5, 5), np.float32))
+        with pytest.raises(ReproError):
+            winograd_conv2d(
+                np.zeros((2, 8, 8), np.float32), np.zeros((2, 2, 5, 5), np.float32)
+            )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ReproError):
+            winograd_conv2d(
+                np.zeros((2, 8, 8), np.float32), np.zeros((2, 3, 3, 3), np.float32)
+            )
+
+
+class TestAccounting:
+    def test_2_25x_reduction_even_dims(self):
+        s = winograd_savings(64, 64, 56, 56)
+        assert abs(s["mul_reduction"] - 2.25) < 1e-9
+
+    def test_storage_overhead(self):
+        s = winograd_savings(64, 64, 56, 56)
+        assert abs(s["storage_overhead"] - 16 / 9) < 1e-9
+        assert s["weight_bytes_winograd"] > s["weight_bytes_direct"]
+
+
+class TestProjection:
+    def test_resnet_projection(self):
+        """Our memory-bound ResNet kernels gain little (or lose) from
+        Winograd — quantifying the thesis's reason not to adopt it."""
+        p = project_winograd(deploy_folded("resnet34", STRATIX10_SX))
+        assert p.eligible_time_share > 0.2
+        assert 0.5 < p.speedup < 2.3
+
+    def test_mobilenet_unaffected(self):
+        """MobileNet has no single-stride 3x3 convolutions."""
+        p = project_winograd(deploy_folded("mobilenet_v1", STRATIX10_SX))
+        assert p.eligible_time_share == 0.0
+        assert abs(p.speedup - 1.0) < 1e-6
+
+    def test_pipelined_rejected(self):
+        with pytest.raises(ReproError):
+            project_winograd(deploy_pipelined("lenet5", STRATIX10_SX))
+
+    def test_layer_accounting_covers_eligible_layers(self):
+        d = deploy_folded("resnet18", STRATIX10_SX)
+        acct = layer_accounting(d)
+        # every stride-1 3x3 conv appears; projections (1x1) do not
+        assert all("proj" not in name for name in acct)
+        # 8 blocks x conv2 + the 5 stride-1 conv1s = 13 eligible layers
+        assert len(acct) == 13
+        for s in acct.values():
+            # 2.25x on even output dims; odd dims (7x7 stages) pay the
+            # ceil-to-tile penalty
+            assert 1.7 <= s["mul_reduction"] <= 2.25 + 1e-9
