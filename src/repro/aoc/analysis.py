@@ -16,8 +16,8 @@ For each kernel this derives, once:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AOCError
 from repro.ir import expr as _e
@@ -307,9 +307,35 @@ class KernelAnalysis:
             )
         return v
 
+    def _rebind(self, bindings: Optional[Bindings]) -> Bindings:
+        """Remap bindings onto this kernel's own ``Var`` objects by name.
+
+        Bindings are identity-keyed, but a bitstream replayed from the
+        compile cache gets paired with invocation plans built from a
+        different (alpha-equivalent) program, whose symbolic vars are
+        distinct objects with the same names.
+        """
+        if not bindings:
+            return {}
+        own = getattr(self, "_own_vars", None)
+        if own is None:
+            own = {v.name: v for v in self.kernel.scalar_args}
+            # buffer-shape vars (n_hi, ...) may not be kernel body args
+            for site in self.sites:
+                for d in tuple(site.buffer.shape) + tuple(site.buffer.strides or ()):
+                    if isinstance(d, _e.Var):
+                        own.setdefault(d.name, d)
+            self._own_vars = own
+        out = dict(bindings)
+        for v, val in bindings.items():
+            tgt = own.get(v.name)
+            if tgt is not None and tgt not in out:
+                out[tgt] = val
+        return out
+
     def compute_cycles(self, bindings: Optional[Bindings] = None) -> int:
         """Issue-slot cycle estimate for one invocation."""
-        bindings = bindings or {}
+        bindings = self._rebind(bindings)
         key = tuple(sorted((v.name, val) for v, val in bindings.items()))
         if key not in self._cycles_cache:
             self._cycles_cache[key] = max(1, self._cycles(self.kernel.body, bindings))
@@ -339,7 +365,7 @@ class KernelAnalysis:
 
     def flops(self, bindings: Optional[Bindings] = None) -> int:
         """Floating-point operations per invocation."""
-        return self._flops(self.kernel.body, bindings or {})
+        return self._flops(self.kernel.body, self._rebind(bindings))
 
     def _flops(self, s: _s.Stmt, b: Bindings) -> int:
         if isinstance(s, _s.SeqStmt):
@@ -364,7 +390,7 @@ class KernelAnalysis:
         variables do not advance the address (re-reads).  A cached LSU
         whose working set fits the 512-kbit cache pays ``unique`` once.
         """
-        b = bindings or {}
+        b = self._rebind(bindings)
         total = 0
         for site in self.sites:
             if site.buffer.scope != "global":

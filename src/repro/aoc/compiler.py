@@ -11,9 +11,8 @@ runtime simulator uses to cost invocations.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.aoc.analysis import Bindings, KernelAnalysis
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS

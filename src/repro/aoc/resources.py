@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from repro.aoc.analysis import KernelAnalysis
 from repro.aoc.constants import AOCConstants
 from repro.ir.analysis import eval_int
-from repro.ir import expr as _e
 
 
 @dataclass

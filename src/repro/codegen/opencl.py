@@ -13,12 +13,11 @@ machine with the real Intel toolchain — handed to ``aoc``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.errors import CodegenError
 from repro.ir import expr as _e
 from repro.ir import stmt as _s
-from repro.ir.buffer import Buffer
 from repro.ir.kernel import Kernel, Program
 
 _BIN_FMT = {

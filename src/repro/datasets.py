@@ -12,7 +12,7 @@ no meaningful accuracy anyway).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -50,5 +50,14 @@ class RuntimeSimError(ReproError):
     """Host-runtime simulation error (deadlocked channels, bad enqueue...)."""
 
 
+class PipelineError(ReproError):
+    """Misuse of the stage pipeline (missing artifact, duplicate stage).
+
+    Domain failures inside a stage keep their own class (``FitError`` is
+    still raised as ``FitError``) and gain ``.stage``/``.diagnostic``
+    attributes pointing at the failing stage and the partial trace.
+    """
+
+
 class UnsupportedError(ReproError):
     """Feature intentionally out of scope for this reproduction."""

@@ -7,22 +7,43 @@ from repro.flow.deploy import (
     deploy_pipelined,
     MOBILENET_1X1_TILINGS,
 )
-from repro.flow.folded import FoldedConfig, build_folded, op_label
-from repro.flow.pipelined import LEVELS, build_pipelined
+from repro.flow.artifacts import FoldedSchedule, PipelinedSchedule, ScheduledKernel
+from repro.flow.folded import (
+    FoldedConfig,
+    build_folded,
+    lower_folded,
+    op_label,
+    plan_folded,
+    schedule_folded,
+)
+from repro.flow.pipelined import (
+    LEVELS,
+    build_pipelined,
+    lower_pipelined,
+    plan_pipelined,
+    schedule_pipelined,
+)
+from repro.flow.stages import MODELS, folded_flow, pipelined_flow, synthesize_key
 from repro.flow.autotune import TuneResult, autotune_folded
 from repro.flow.dse import (
     DSEPoint,
+    SweepSummary,
     bandwidth_roof_elems,
     choose_tiling,
     divides_all,
     evaluate_tiling,
     explore_conv1x1,
+    sweep_conv1x1,
 )
 
 __all__ = [
-    "DSEPoint", "TuneResult", "autotune_folded", "Deployment", "FoldedConfig", "LEVELS",
-    "MOBILENET_1X1_TILINGS", "bandwidth_roof_elems", "build_folded",
-    "build_pipelined", "choose_tiling", "default_folded_config",
-    "deploy_folded", "deploy_pipelined", "divides_all", "evaluate_tiling",
-    "explore_conv1x1", "op_label",
+    "DSEPoint", "TuneResult", "autotune_folded", "Deployment", "FoldedConfig",
+    "FoldedSchedule", "LEVELS", "MOBILENET_1X1_TILINGS", "MODELS",
+    "PipelinedSchedule", "ScheduledKernel", "SweepSummary",
+    "bandwidth_roof_elems", "build_folded", "build_pipelined", "choose_tiling",
+    "default_folded_config", "deploy_folded", "deploy_pipelined", "divides_all",
+    "evaluate_tiling", "explore_conv1x1", "folded_flow", "lower_folded",
+    "lower_pipelined", "op_label", "pipelined_flow", "plan_folded",
+    "plan_pipelined", "schedule_folded", "schedule_pipelined", "sweep_conv1x1",
+    "synthesize_key",
 ]

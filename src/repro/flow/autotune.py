@@ -16,12 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.aoc.compiler import compile_program
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
 from repro.errors import FitError, RoutingError
 from repro.flow.dse import divides_all
-from repro.flow.folded import FoldedConfig, build_folded
+from repro.flow.folded import FoldedConfig
+from repro.flow.stages import CacheOption, folded_flow, resolve_cache
 from repro.relay.passes import FusedGraph
 from repro.runtime.simulate import simulate_folded
 from repro.topi import ConvTiling
@@ -37,6 +37,9 @@ class TuneResult:
     fps: float
     evaluations: int
     history: List[Tuple[GroupId, ConvTiling, float]] = field(default_factory=list)
+    #: compile-cache accounting over the whole run
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def _group_extents(fused: FusedGraph) -> Dict[GroupId, Dict[str, List[int]]]:
@@ -72,13 +75,14 @@ def _evaluate(
     board: Board,
     config: FoldedConfig,
     constants: AOCConstants,
+    cache: CacheOption = None,
 ) -> Optional[float]:
-    program, plan = build_folded(fused, config, board)
+    flow = folded_flow(fused.graph.name, board, config, constants, cache=cache)
     try:
-        bs = compile_program(program, board, constants)
+        result = flow.run(seed={"graph": fused.graph, "fused": fused})
     except (FitError, RoutingError):
         return None
-    return simulate_folded(bs, plan).fps
+    return simulate_folded(result.value("bitstream"), result.value("plan")).fps
 
 
 def autotune_folded(
@@ -87,8 +91,18 @@ def autotune_folded(
     start: Optional[FoldedConfig] = None,
     constants: AOCConstants = DEFAULT_CONSTANTS,
     max_rounds: int = 4,
+    cache: CacheOption = None,
 ) -> TuneResult:
-    """Greedy coordinate-ascent tiling search over all conv groups."""
+    """Greedy coordinate-ascent tiling search over all conv groups.
+
+    Every candidate build goes through the staged compile pipeline;
+    revisited configurations (coordinate ascent retries them often)
+    replay ``synthesize`` from the compile cache, and the returned
+    :class:`TuneResult` reports the hit/miss counts.
+    """
+    resolved = resolve_cache(cache)
+    eval_cache: CacheOption = resolved if resolved is not None else False
+    stats0 = resolved.stats() if resolved is not None else {"hits": 0, "misses": 0}
     config = start or FoldedConfig()
     config = FoldedConfig(
         conv_tilings=dict(config.conv_tilings),
@@ -99,7 +113,7 @@ def autotune_folded(
     evaluations = 0
     history: List[Tuple[GroupId, ConvTiling, float]] = []
 
-    best = _evaluate(fused, board, config, constants)
+    best = _evaluate(fused, board, config, constants, eval_cache)
     evaluations += 1
     if best is None:
         raise FitError("starting configuration does not fit/route")
@@ -126,7 +140,7 @@ def autotune_folded(
                         unroll_ff=current.unroll_ff,
                     )
                     config.conv_tilings[gid] = trial
-                    fps = _evaluate(fused, board, config, constants)
+                    fps = _evaluate(fused, board, config, constants, eval_cache)
                     evaluations += 1
                     if fps is not None and fps > best * 1.001:
                         best = fps
@@ -138,5 +152,9 @@ def autotune_folded(
         if not improved:
             break
 
-    return TuneResult(config=config, fps=best, evaluations=evaluations,
-                      history=history)
+    stats1 = resolved.stats() if resolved is not None else stats0
+    return TuneResult(
+        config=config, fps=best, evaluations=evaluations, history=history,
+        cache_hits=stats1["hits"] - stats0["hits"],
+        cache_misses=stats1["misses"] - stats0["misses"],
+    )

@@ -3,10 +3,13 @@
 This is the user-facing entry point of the reproduction, tying together
 the whole flow of thesis Figure 3.1: graph import + fusion (relay),
 schedule + lowering (topi/schedule), OpenCL emission (codegen), offline
-compilation (aoc) and host-runtime simulation (runtime).  Functional
-correctness is provided by the NumPy executor: a :class:`Deployment` can
-actually classify images, and its numbers are what the benchmark suite
-reports.
+compilation (aoc) and host-runtime simulation (runtime).  Deploys run
+through the staged :mod:`repro.pipeline` flow, so every
+:class:`Deployment` carries a per-stage :class:`~repro.pipeline.Trace`
+and repeated synthesis hits the content-addressed compile cache.
+Functional correctness is provided by the NumPy executor: a
+:class:`Deployment` can actually classify images, and its numbers are
+what the benchmark suite reports.
 """
 
 from __future__ import annotations
@@ -16,17 +19,16 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.aoc.compiler import Bitstream, compile_program
+from repro.aoc.compiler import Bitstream
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.codegen import generate_opencl
 from repro.device.boards import Board
 from repro.errors import ReproError
-from repro.flow.folded import FoldedConfig, build_folded
-from repro.flow.pipelined import LEVELS, build_pipelined
-from repro.models import alexnet, lenet5, mobilenet_v1, resnet, resnet18, resnet34, resnet50
-from repro.relay import FusedGraph, fuse_operators, init_params, run_fused_graph
+from repro.flow.folded import FoldedConfig
+from repro.flow.stages import CacheOption, MODELS, folded_flow, pipelined_flow
+from repro.pipeline import Trace
+from repro.relay import FusedGraph, init_params, run_fused_graph
 from repro.relay.graph import Graph
-from repro.runtime.plan import FoldedPlan, PipelinePlan
 from repro.runtime.simulate import (
     RunResult,
     per_op_profile,
@@ -35,19 +37,8 @@ from repro.runtime.simulate import (
 )
 from repro.topi import ConvTiling
 
-_MODELS = {
-    "lenet5": lenet5,
-    "mobilenet_v1": mobilenet_v1,
-    "resnet18": resnet18,
-    "resnet34": resnet34,
-    # published conv-BN-activation variants (bias-free convolutions)
-    "mobilenet_v1_bn": lambda: mobilenet_v1(batchnorm=True),
-    "resnet18_bn": lambda: resnet(18, batchnorm=True),
-    "resnet34_bn": lambda: resnet(34, batchnorm=True),
-    # extensions beyond the thesis: the §6.6 comparison networks
-    "resnet50": resnet50,
-    "alexnet": alexnet,
-}
+#: backwards-compatible alias; the registry lives in :mod:`repro.flow.stages`
+_MODELS = MODELS
 
 #: thesis Table 6.7 — per-board 1x1-conv tiling for MobileNetV1
 MOBILENET_1X1_TILINGS: Dict[str, ConvTiling] = {
@@ -122,6 +113,8 @@ class Deployment:
     mode: str  # 'pipelined' or 'folded'
     level: Optional[str] = None
     _params: Optional[Dict[str, np.ndarray]] = None
+    #: per-stage execution trace of the compile pipeline that built this
+    trace: Optional[Trace] = None
 
     # -- timing -----------------------------------------------------------
     def run(self, concurrent: bool = True) -> RunResult:
@@ -176,15 +169,21 @@ def deploy_pipelined(
     board: Board,
     level: str = "tvm_autorun",
     constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
 ) -> Deployment:
-    """Build + synthesize a pipelined deployment (LeNet-class networks)."""
-    graph = _MODELS[network]()
-    fused = fuse_operators(graph)
-    program, plan = build_pipelined(fused, level, board)
-    bitstream = compile_program(program, board, constants)
+    """Build + synthesize a pipelined deployment (LeNet-class networks).
+
+    ``cache`` selects the compile cache for the ``synthesize`` stage:
+    ``None`` (default) uses the process-wide cache, ``False`` disables
+    caching, or pass an explicit :class:`~repro.pipeline.CompileCache`.
+    """
+    flow = pipelined_flow(network, board, level, constants, cache=cache)
+    result = flow.run()
     return Deployment(
-        network=network, board=board, graph=graph, fused=fused,
-        bitstream=bitstream, plan=plan, mode="pipelined", level=level,
+        network=network, board=board,
+        graph=result.value("graph"), fused=result.value("fused"),
+        bitstream=result.value("bitstream"), plan=result.value("plan"),
+        mode="pipelined", level=level, trace=result.trace,
     )
 
 
@@ -194,20 +193,23 @@ def deploy_folded(
     naive: bool = False,
     config: Optional[FoldedConfig] = None,
     constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
 ) -> Deployment:
     """Build + synthesize a folded deployment (MobileNet/ResNet-class).
 
     Raises :class:`~repro.errors.FitError` when the design does not fit
     the board — e.g. every naive MobileNet/ResNet build on the Arria 10.
+    The error carries ``.stage``/``.diagnostic`` locating the failure in
+    the compile pipeline.
     """
-    graph = _MODELS[network]()
-    fused = fuse_operators(graph)
     if config is None:
         config = default_folded_config(network, board, naive=naive)
-    program, plan = build_folded(fused, config, board)
-    bitstream = compile_program(program, board, constants)
+    flow = folded_flow(network, board, config, constants, cache=cache)
+    result = flow.run()
     return Deployment(
-        network=network, board=board, graph=graph, fused=fused,
-        bitstream=bitstream, plan=plan, mode="folded",
-        level="naive" if config.naive else "folded",
+        network=network, board=board,
+        graph=result.value("graph"), fused=result.value("fused"),
+        bitstream=result.value("bitstream"), plan=result.value("plan"),
+        mode="folded", level="naive" if config.naive else "folded",
+        trace=result.trace,
     )

@@ -12,19 +12,23 @@ implements that explorer against the reproduction's AOC model:
 ``explore_conv1x1`` sweeps (w2vec, c2vec, c1vec) space for the MobileNet
 pointwise kernel the way Table 6.6 does, and ``choose_tiling`` returns
 the best configuration by modelled throughput.
+
+Candidate synthesis runs through the staged compile pipeline, so points
+sharing generated source (and re-runs of the same sweep) hit the
+content-addressed compile cache; :class:`SweepSummary` reports the
+hit/miss counts.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.aoc.compiler import compile_program
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
 from repro.errors import FitError, RoutingError
-from repro.flow.folded import FoldedConfig, build_folded
+from repro.flow.folded import FoldedConfig
+from repro.flow.stages import CacheOption, folded_flow, resolve_cache
 from repro.relay.passes import FusedGraph
 from repro.runtime.simulate import simulate_folded
 from repro.topi import ConvTiling
@@ -45,6 +49,19 @@ class DSEPoint:
     @property
     def feasible(self) -> bool:
         return self.fits and self.routed
+
+
+@dataclass
+class SweepSummary:
+    """All evaluated points of one sweep plus compile-cache accounting."""
+
+    points: List[DSEPoint] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def best(self) -> DSEPoint:
+        return choose_tiling(self.points)
 
 
 def bandwidth_roof_elems(board: Board, fmax_mhz: float) -> int:
@@ -69,8 +86,15 @@ def evaluate_tiling(
     tiling: ConvTiling,
     base_config: Optional[FoldedConfig] = None,
     constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
 ) -> DSEPoint:
-    """Compile + simulate the network with one tiling for one conv group."""
+    """Compile + simulate the network with one tiling for one conv group.
+
+    The build runs through the staged pipeline seeded with the
+    already-fused graph, so repeated evaluations of source-identical
+    candidates replay the ``synthesize`` stage from the compile cache —
+    including deterministic fit/route failures.
+    """
     from repro.flow.deploy import default_folded_config
 
     config = base_config or default_folded_config(fused.graph.name, board)
@@ -80,37 +104,45 @@ def evaluate_tiling(
         pin_unit_stride=config.pin_unit_stride,
     )
     config.conv_tilings[group] = tiling
-    program, plan = build_folded(fused, config, board)
+    flow = folded_flow(fused.graph.name, board, config, constants, cache=cache)
     try:
-        bs = compile_program(program, board, constants)
+        result = flow.run(seed={"graph": fused.graph, "fused": fused})
     except FitError as e:
         return DSEPoint(tiling, fits=False, routed=True, fail_reason=str(e))
     except RoutingError as e:
         return DSEPoint(tiling, fits=True, routed=False, fail_reason=str(e))
-    result = simulate_folded(bs, plan)
+    bs = result.value("bitstream")
+    sim = simulate_folded(bs, result.value("plan"))
     return DSEPoint(
         tiling,
         fits=True,
         routed=True,
-        fps=result.fps,
+        fps=sim.fps,
         fmax_mhz=bs.fmax_mhz,
         dsps=bs.total.dsps,
     )
 
 
-def explore_conv1x1(
+def sweep_conv1x1(
     fused: FusedGraph,
     board: Board,
     w2vec_options: Sequence[int] = (7,),
     c2vec_options: Sequence[int] = (4, 8, 16, 32),
     c1vec_options: Sequence[int] = (4, 8, 16),
     constants: AOCConstants = DEFAULT_CONSTANTS,
-) -> List[DSEPoint]:
+    cache: CacheOption = None,
+) -> SweepSummary:
     """Sweep 1x1-conv tiling space (the Table 6.6 experiment, generalized).
 
     Candidate factors violating divisibility over the network's 1x1
-    layers are skipped before synthesis, per requirement 2.
+    layers are skipped before synthesis, per requirement 2.  Returns the
+    evaluated points plus the compile-cache hits/misses this sweep
+    incurred.
     """
+    resolved = resolve_cache(cache)
+    point_cache: CacheOption = resolved if resolved is not None else False
+    before = resolved.stats() if resolved is not None else {"hits": 0, "misses": 0}
+
     w2_extents, c2_extents, c1_extents = _conv1x1_extents(fused)
     points: List[DSEPoint] = []
     for w2 in w2vec_options:
@@ -126,10 +158,30 @@ def explore_conv1x1(
                     evaluate_tiling(
                         fused, board, ("conv", 1, 1),
                         ConvTiling(w2vec=w2, c2vec=c2, c1vec=c1),
-                        constants=constants,
+                        constants=constants, cache=point_cache,
                     )
                 )
-    return points
+
+    after = resolved.stats() if resolved is not None else before
+    return SweepSummary(
+        points=points,
+        cache_hits=after["hits"] - before["hits"],
+        cache_misses=after["misses"] - before["misses"],
+    )
+
+
+def explore_conv1x1(
+    fused: FusedGraph,
+    board: Board,
+    w2vec_options: Sequence[int] = (7,),
+    c2vec_options: Sequence[int] = (4, 8, 16, 32),
+    c1vec_options: Sequence[int] = (4, 8, 16),
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> List[DSEPoint]:
+    """Points-only view of :func:`sweep_conv1x1` (original API)."""
+    return sweep_conv1x1(
+        fused, board, w2vec_options, c2vec_options, c1vec_options, constants
+    ).points
 
 
 def choose_tiling(points: Sequence[DSEPoint]) -> DSEPoint:

@@ -12,14 +12,15 @@ the baseline that fails to fit on the Arria 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import repro.ir as ir
 from repro.device.boards import Board
-from repro.errors import ReproError, UnsupportedError
+from repro.errors import UnsupportedError
+from repro.flow.artifacts import FoldedSchedule, ScheduledKernel
 from repro.relay.passes import FusedGraph, FusedNode
 from repro.runtime.plan import FoldedPlan, Invocation
-from repro.schedule import create_schedule, lower
+from repro.schedule import create_schedule
 from repro.topi import (
     ConvSpec,
     ConvTiling,
@@ -95,13 +96,14 @@ class _FoldedBuilder:
         self.fused = fused
         self.config = config
         self.board = board
-        self.kernels: List[ir.Kernel] = []
+        self.kernels: List[ScheduledKernel] = []
         self.invocations: List[Invocation] = []
         #: group key -> (kernel name, symbolic handle or None)
         self.groups: Dict[GroupKey, Tuple[str, object]] = {}
 
     # ------------------------------------------------------------------
-    def build(self) -> Tuple[ir.Program, FoldedPlan]:
+    def schedule_graph(self) -> FoldedSchedule:
+        """Group layers into kernels and pick every kernel's schedule."""
         counts: Dict[GroupKey, int] = {}
         for fn in self.fused:
             counts[self._group_key(fn)] = counts.get(self._group_key(fn), 0) + 1
@@ -117,7 +119,7 @@ class _FoldedBuilder:
                 bindings = self._bindings(fn, handle)
                 prefix = kname[2:]  # strip the "k_" kernel prefix
             else:
-                kname = self._build_static_kernel(fn)
+                kname = self._schedule_static_kernel(fn)
                 bindings = None
                 prefix = fn.name
             self.invocations.append(
@@ -132,21 +134,13 @@ class _FoldedBuilder:
                     extra_input_nodes=tuple(n.name for n in fn.extra_inputs),
                 )
             )
-        graph = self.fused.graph
-        in_elems = 1
-        for d in graph.input.out_shape:
-            in_elems *= d
-        out_elems = 1
-        for d in graph.output.out_shape:
-            out_elems *= d
         suffix = "naive" if self.config.naive else "folded"
-        prog = ir.Program(self.kernels, f"{graph.name}_{suffix}")
-        plan = FoldedPlan(
+        return FoldedSchedule(
+            program_name=f"{self.fused.graph.name}_{suffix}",
+            kernels=self.kernels,
             invocations=self.invocations,
-            input_bytes=in_elems * 4,
-            output_bytes=out_elems * 4,
+            groups={k: name for k, (name, _) in self.groups.items()},
         )
-        return prog, plan
 
     # ------------------------------------------------------------------
     def _group_key(self, fn: FusedNode) -> GroupKey:
@@ -184,7 +178,6 @@ class _FoldedBuilder:
             sch = schedule_symbolic_conv(
                 out, self.config.tiling_for("conv", f, s), is_1x1=(f == 1)
             )
-            kern = lower(sch, kname)
         elif fn.op == "depthwise_conv2d":
             fn.check_canonical_epilogue()
             f, s = a["field"], a["stride"]
@@ -195,14 +188,15 @@ class _FoldedBuilder:
             sch = schedule_symbolic_conv(
                 out, self.config.tiling_for("dw", f, s), is_1x1=False
             )
-            kern = lower(sch, kname)
         elif fn.op == "pad":
             before, after = a["pad"]
             handle, _, out = pad_symbolic(before, after, base)
-            kern = lower(create_schedule(out), kname)
+            sch = create_schedule(out)
         else:  # pragma: no cover
             raise UnsupportedError(f"cannot parameterize {fn.op}")
-        self.kernels.append(kern)
+        self.kernels.append(
+            ScheduledKernel(name=kname, layer=fn.name, schedule=sch)
+        )
         self.groups[key] = (kname, handle)
         return self.groups[key]
 
@@ -221,10 +215,11 @@ class _FoldedBuilder:
         raise UnsupportedError(fn.op)  # pragma: no cover
 
     # ------------------------------------------------------------------
-    def _build_static_kernel(self, fn: FusedNode) -> str:
+    def _schedule_static_kernel(self, fn: FusedNode) -> str:
         a = fn.anchor.attrs
         naive = self.config.naive
         kname = f"k_{fn.name}"
+        kern = None
         if fn.op == "conv2d":
             fn.check_canonical_epilogue()
             c1, h, w = fn.anchor.inputs[0].out_shape
@@ -245,7 +240,6 @@ class _FoldedBuilder:
                     sch = schedule_conv1x1_opt(out, tiling)
                 else:
                     sch = schedule_conv2d_opt(out, tiling)
-            kern = lower(sch, kname)
         elif fn.op == "depthwise_conv2d":
             fn.check_canonical_epilogue()
             c1, h, w = fn.anchor.inputs[0].out_shape
@@ -264,12 +258,11 @@ class _FoldedBuilder:
                     self.config.tiling_for("dw", spec.f, spec.s), spec
                 )
                 sch = schedule_depthwise_opt(out, tiling)
-            kern = lower(sch, kname)
         elif fn.op == "pad":
             before, after = a["pad"]
             c, h, w = fn.anchor.inputs[0].out_shape
             _, out = pad_tensors(c, h, w, before, after, fn.name)
-            kern = lower(schedule_transform(out), kname)
+            sch = schedule_transform(out)
         elif fn.op in ("maxpool", "avgpool"):
             c, h, w = fn.anchor.inputs[0].out_shape
             spec = PoolSpec(
@@ -278,16 +271,14 @@ class _FoldedBuilder:
             )
             _, out = pool_tensors(spec, fn.name)
             sch = schedule_pool_naive(out) if naive else schedule_pool_opt(out)
-            kern = lower(sch, kname)
         elif fn.op == "global_avgpool":
             c, h, w = fn.anchor.inputs[0].out_shape
             _, out = gap_tensors(c, h, w, fn.name)
             sch = schedule_pool_naive(out) if naive else schedule_pool_opt(out)
-            kern = lower(sch, kname)
         elif fn.op == "flatten":
             c, h, w = fn.anchor.inputs[0].out_shape
             _, out = flatten_tensors(c, h, w, fn.name)
-            kern = lower(schedule_transform(out), kname)
+            sch = schedule_transform(out)
         elif fn.op == "dense":
             (n,) = fn.anchor.inputs[0].out_shape
             spec = DenseSpec(
@@ -302,7 +293,6 @@ class _FoldedBuilder:
                 while factor > 1 and n % factor != 0:
                     factor //= 2
                 sch = schedule_dense_opt(out, factor)
-            kern = lower(sch, kname)
         elif fn.op == "softmax":
             (n,) = fn.anchor.inputs[0].out_shape
             if naive:
@@ -311,7 +301,12 @@ class _FoldedBuilder:
                 kern = softmax_kernel_licm(n, fn.name, kname)
         else:  # pragma: no cover
             raise UnsupportedError(f"folded builder: unsupported op {fn.op}")
-        self.kernels.append(kern)
+        self.kernels.append(
+            ScheduledKernel(
+                name=kname, layer=fn.name,
+                schedule=None if kern is not None else sch, prebuilt=kern,
+            )
+        )
         return kname
 
     @staticmethod
@@ -332,8 +327,39 @@ class _FoldedBuilder:
         )
 
 
+def schedule_folded(
+    fused: FusedGraph, config: FoldedConfig, board: Board
+) -> FoldedSchedule:
+    """``schedule`` stage: group layers and pick per-kernel schedules."""
+    ir.reset_fresh_names()
+    return _FoldedBuilder(fused, config, board).schedule_graph()
+
+
+def lower_folded(sched: FoldedSchedule) -> ir.Program:
+    """``lower`` stage: lower every scheduled kernel to statement IR."""
+    return ir.Program([spec.lower() for spec in sched.kernels],
+                      sched.program_name)
+
+
+def plan_folded(fused: FusedGraph, sched: FoldedSchedule) -> FoldedPlan:
+    """``plan`` stage: wrap the invocation sequence into a runtime plan."""
+    graph = fused.graph
+    in_elems = 1
+    for d in graph.input.out_shape:
+        in_elems *= d
+    out_elems = 1
+    for d in graph.output.out_shape:
+        out_elems *= d
+    return FoldedPlan(
+        invocations=sched.invocations,
+        input_bytes=in_elems * 4,
+        output_bytes=out_elems * 4,
+    )
+
+
 def build_folded(
     fused: FusedGraph, config: FoldedConfig, board: Board
 ) -> Tuple[ir.Program, FoldedPlan]:
-    """Build a folded program + invocation plan for a network."""
-    return _FoldedBuilder(fused, config, board).build()
+    """One-shot schedule + lower + plan (the pre-pipeline API surface)."""
+    sched = schedule_folded(fused, config, board)
+    return lower_folded(sched), plan_folded(fused, sched)

@@ -32,9 +32,10 @@ from typing import Dict, List, Optional, Tuple
 import repro.ir as ir
 from repro.device.boards import Board
 from repro.errors import ReproError, UnsupportedError
+from repro.flow.artifacts import PipelinedSchedule, ScheduledKernel
 from repro.relay.passes import FusedGraph, FusedNode
 from repro.runtime.plan import PipelinePlan, PipelineStage
-from repro.schedule import Schedule, lower
+from repro.schedule import Schedule
 from repro.topi import (
     ConvSpec,
     ConvTiling,
@@ -56,7 +57,6 @@ from repro.topi import (
     softmax_kernel_licm,
     softmax_kernel_naive,
 )
-from repro.topi.dense import dense_tensors as _dense_tensors
 
 LEVELS = ("base", "unroll", "channels", "autorun", "tvm_autorun")
 
@@ -140,7 +140,8 @@ class _ChainKernelBuilder:
         return schedule_pool_opt(out)
 
     # ------------------------------------------------------------------
-    def build(self, fused: FusedGraph) -> Tuple[ir.Program, PipelinePlan]:
+    def schedule_graph(self, fused: FusedGraph) -> PipelinedSchedule:
+        """Select a schedule (and channel wiring) for every fused node."""
         nodes = list(fused)
         # chain check
         for prev, nxt in zip(nodes, nodes[1:]):
@@ -161,50 +162,26 @@ class _ChainKernelBuilder:
                 depth = max(0, int(n * self.channel_depth_scale))
                 channels[prev.name] = ir.Channel(f"ch_{prev.name}", depth=depth)
 
-        kernels: List[ir.Kernel] = []
-        stages: List[PipelineStage] = []
+        specs: List[ScheduledKernel] = []
         for i, fn in enumerate(nodes):
             ch_in = channels.get(nodes[i - 1].name) if i > 0 else None
             ch_out = channels.get(fn.name)
-            kern = self._build_kernel(fn, ch_in, ch_out)
-            kernels.append(kern)
-            out_elems = 1
-            for d in fn.out_shape:
-                out_elems *= d
-            stages.append(
-                PipelineStage(
-                    kernel_name=kern.name,
-                    layer=fn.name,
-                    channel_in=ch_in is not None,
-                    channel_out=ch_out is not None,
-                    autorun=kern.autorun,
-                    channel_depth=ch_out.depth if ch_out is not None else 0,
-                    output_elems=out_elems,
-                )
-            )
-
-        graph = fused.graph
-        in_elems = 1
-        for d in graph.input.out_shape:
-            in_elems *= d
-        out_elems = 1
-        for d in graph.output.out_shape:
-            out_elems *= d
-        plan = PipelinePlan(
-            stages=stages,
-            input_bytes=in_elems * 4,
-            output_bytes=out_elems * 4,
+            specs.append(self._schedule_kernel(fn, ch_in, ch_out))
+        return PipelinedSchedule(
+            level=self.level,
+            program_name=f"{fused.graph.name}_{self.level}",
+            kernels=specs,
+            channels=channels,
             uses_channels=self.use_channels,
         )
-        return ir.Program(kernels, f"{graph.name}_{self.level}"), plan
 
     # ------------------------------------------------------------------
-    def _build_kernel(
+    def _schedule_kernel(
         self,
         fn: FusedNode,
         ch_in: Optional[ir.Channel],
         ch_out: Optional[ir.Channel],
-    ) -> ir.Kernel:
+    ) -> ScheduledKernel:
         op = fn.op
         kname = f"k_{fn.name}"
         autorun = False
@@ -245,27 +222,30 @@ class _ChainKernelBuilder:
             autorun = self.use_autorun and ch_in is not None and ch_out is not None
         elif op == "softmax":
             (n,) = fn.anchor.inputs[0].out_shape
-            if self.optimized and self.level != "unroll":
-                kern = softmax_kernel_licm(n, fn.name, kname)
-            else:
-                kern = softmax_kernel_naive(n, fn.name, kname)
             # softmax is the terminal kernel: channel input supported via
             # rebuild with lowering options below
             if ch_in is not None or ch_out is not None:
                 return self._softmax_with_channels(fn, n, kname, ch_in, ch_out)
-            return kern
+            if self.optimized and self.level != "unroll":
+                kern = softmax_kernel_licm(n, fn.name, kname)
+            else:
+                kern = softmax_kernel_naive(n, fn.name, kname)
+            return ScheduledKernel(name=kname, layer=fn.name, prebuilt=kern)
         else:  # pragma: no cover - vocabulary guard
             raise UnsupportedError(f"pipelined builder: unsupported op {op}")
 
         input_channels = (
             {f"{fn.name}_in": ch_in} if ch_in is not None else None
         )
-        return lower(
-            sch,
-            kname,
-            output_channel=ch_out,
-            input_channels=input_channels,
-            autorun=autorun,
+        return ScheduledKernel(
+            name=kname,
+            layer=fn.name,
+            schedule=sch,
+            lower_options={
+                "output_channel": ch_out,
+                "input_channels": input_channels,
+                "autorun": autorun,
+            },
         )
 
     def _softmax_with_channels(
@@ -275,7 +255,7 @@ class _ChainKernelBuilder:
         kname: str,
         ch_in: Optional[ir.Channel],
         ch_out: Optional[ir.Channel],
-    ) -> ir.Kernel:
+    ) -> ScheduledKernel:
         from repro.schedule import create_schedule
         from repro.topi.softmax import softmax_tensors
 
@@ -295,23 +275,79 @@ class _ChainKernelBuilder:
         input_channels = (
             {f"{fn.name}_in": ch_in} if ch_in is not None else None
         )
-        return lower(
-            sch,
-            kname,
-            output_channel=ch_out,
-            input_channels=input_channels,
-            compute_at=attach,
+        return ScheduledKernel(
+            name=kname,
+            layer=fn.name,
+            schedule=sch,
+            lower_options={
+                "output_channel": ch_out,
+                "input_channels": input_channels,
+                "compute_at": attach,
+            },
         )
+
+
+def schedule_pipelined(
+    fused: FusedGraph, level: str, board: Board,
+    channel_depth_scale: float = 1.0,
+) -> PipelinedSchedule:
+    """``schedule`` stage: pick per-kernel schedules + channel wiring.
+
+    ``channel_depth_scale`` scales every channel FIFO relative to the
+    thesis's rule (depth = producer OFM size); values below 1 model the
+    under-buffered channels whose stalls Section 4.6 warns about.
+    """
+    ir.reset_fresh_names()
+    builder = _ChainKernelBuilder(level, board, channel_depth_scale)
+    return builder.schedule_graph(fused)
+
+
+def lower_pipelined(sched: PipelinedSchedule) -> ir.Program:
+    """``lower`` stage: lower every scheduled kernel to statement IR."""
+    return ir.Program([spec.lower() for spec in sched.kernels],
+                      sched.program_name)
+
+
+def plan_pipelined(fused: FusedGraph, sched: PipelinedSchedule) -> PipelinePlan:
+    """``plan`` stage: derive the host-runtime execution plan."""
+    nodes = list(fused)
+    stages: List[PipelineStage] = []
+    for i, (fn, spec) in enumerate(zip(nodes, sched.kernels)):
+        ch_in = sched.channels.get(nodes[i - 1].name) if i > 0 else None
+        ch_out = sched.channels.get(fn.name)
+        out_elems = 1
+        for d in fn.out_shape:
+            out_elems *= d
+        stages.append(
+            PipelineStage(
+                kernel_name=spec.name,
+                layer=fn.name,
+                channel_in=ch_in is not None,
+                channel_out=ch_out is not None,
+                autorun=spec.autorun,
+                channel_depth=ch_out.depth if ch_out is not None else 0,
+                output_elems=out_elems,
+            )
+        )
+    graph = fused.graph
+    in_elems = 1
+    for d in graph.input.out_shape:
+        in_elems *= d
+    out_elems = 1
+    for d in graph.output.out_shape:
+        out_elems *= d
+    return PipelinePlan(
+        stages=stages,
+        input_bytes=in_elems * 4,
+        output_bytes=out_elems * 4,
+        uses_channels=sched.uses_channels,
+    )
 
 
 def build_pipelined(
     fused: FusedGraph, level: str, board: Board,
     channel_depth_scale: float = 1.0,
 ) -> Tuple[ir.Program, PipelinePlan]:
-    """Build a pipelined program + plan for a chain network at a level.
-
-    ``channel_depth_scale`` scales every channel FIFO relative to the
-    thesis's rule (depth = producer OFM size); values below 1 model the
-    under-buffered channels whose stalls Section 4.6 warns about.
-    """
-    return _ChainKernelBuilder(level, board, channel_depth_scale).build(fused)
+    """One-shot schedule + lower + plan (the pre-pipeline API surface)."""
+    sched = schedule_pipelined(fused, level, board, channel_depth_scale)
+    return lower_pipelined(sched), plan_pipelined(fused, sched)

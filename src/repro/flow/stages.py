@@ -1,0 +1,190 @@
+"""Stage definitions wiring the deployment flow into :mod:`repro.pipeline`.
+
+The thesis' Figure 3.1 flow becomes seven named stages —
+``import -> fuse -> schedule -> lower -> codegen -> synthesize -> plan``
+— each producing one typed artifact:
+
+========== ============ ==========================================
+stage      artifact     type
+========== ============ ==========================================
+import     graph        :class:`repro.relay.graph.Graph`
+fuse       fused        :class:`repro.relay.passes.FusedGraph`
+schedule   schedule     ``PipelinedSchedule`` / ``FoldedSchedule``
+lower      program      :class:`repro.ir.Program`
+codegen    source       ``str`` (the generated ``.cl`` file)
+synthesize bitstream    :class:`repro.aoc.compiler.Bitstream`
+plan       plan         ``PipelinePlan`` / ``FoldedPlan``
+========== ============ ==========================================
+
+The ``synthesize`` stage — by far the most expensive in a real flow —
+is content-addressed: its cache key hashes the generated OpenCL source,
+the program's channel depths, the board and the AOC cost-model
+constants, so any change to graph, schedule, tiling, board or constants
+misses while a repeated deploy hits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.aoc.compiler import compile_program
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.codegen import generate_opencl
+from repro.device.boards import Board
+from repro.flow.folded import (
+    FoldedConfig,
+    lower_folded,
+    plan_folded,
+    schedule_folded,
+)
+from repro.flow.pipelined import lower_pipelined, plan_pipelined, schedule_pipelined
+from repro.models import (
+    alexnet,
+    lenet5,
+    mobilenet_v1,
+    resnet,
+    resnet18,
+    resnet34,
+    resnet50,
+)
+from repro.pipeline import CompileCache, Context, Pipeline, Stage, default_cache
+from repro.pipeline.fingerprint import fingerprint
+from repro.relay import fuse_operators
+
+#: name -> graph constructor, the networks the flow knows how to import
+MODELS: Dict[str, Callable] = {
+    "lenet5": lenet5,
+    "mobilenet_v1": mobilenet_v1,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    # published conv-BN-activation variants (bias-free convolutions)
+    "mobilenet_v1_bn": lambda: mobilenet_v1(batchnorm=True),
+    "resnet18_bn": lambda: resnet(18, batchnorm=True),
+    "resnet34_bn": lambda: resnet(34, batchnorm=True),
+    # extensions beyond the thesis: the §6.6 comparison networks
+    "resnet50": resnet50,
+    "alexnet": alexnet,
+}
+
+#: pass ``cache=DISABLED`` to run a flow without any compile cache
+DISABLED = False
+
+CacheOption = Union[CompileCache, None, bool]
+
+
+def resolve_cache(cache: CacheOption) -> Optional[CompileCache]:
+    """``None`` -> the process-wide default cache, ``DISABLED`` -> no cache."""
+    if cache is None:
+        return default_cache()
+    if cache is False:
+        return None
+    return cache
+
+
+def synthesize_key(board: Board, constants: AOCConstants) -> Callable[[Context], str]:
+    """Content-addressed key for the ``synthesize`` stage.
+
+    Hashes the emitted OpenCL source (which embeds every schedule and
+    tiling decision, including ``__attribute__((depth(N)))`` channel
+    depths), the channel list, the target board and the cost-model
+    constants.  Source text is reproducible because builders reset the
+    IR name uniquifier (:func:`repro.ir.reset_fresh_names`) per build.
+    """
+
+    def key(ctx: Context) -> str:
+        program = ctx.value("program")
+        channels = sorted((c.name, c.depth) for c in program.all_channels())
+        return fingerprint(
+            [
+                "synthesize",
+                ctx.value("source"),
+                channels,
+                board.name,
+                constants,
+            ]
+        )
+
+    return key
+
+
+def _import_stage(network: str) -> Stage:
+    return Stage("import", "graph", lambda ctx: MODELS[network]())
+
+
+def pipelined_flow(
+    network: str,
+    board: Board,
+    level: str = "tvm_autorun",
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
+    channel_depth_scale: float = 1.0,
+) -> Pipeline:
+    """The seven-stage pipelined (LeNet-class) deployment flow."""
+    return Pipeline(
+        f"pipelined:{network}:{level}:{board.name}",
+        [
+            _import_stage(network),
+            Stage("fuse", "fused", lambda ctx: fuse_operators(ctx.value("graph"))),
+            Stage(
+                "schedule",
+                "schedule",
+                lambda ctx: schedule_pipelined(
+                    ctx.value("fused"), level, board, channel_depth_scale
+                ),
+            ),
+            Stage("lower", "program",
+                  lambda ctx: lower_pipelined(ctx.value("schedule"))),
+            Stage("codegen", "source",
+                  lambda ctx: generate_opencl(ctx.value("program"))),
+            Stage(
+                "synthesize",
+                "bitstream",
+                lambda ctx: compile_program(ctx.value("program"), board, constants),
+                cache_key=synthesize_key(board, constants),
+            ),
+            Stage(
+                "plan",
+                "plan",
+                lambda ctx: plan_pipelined(ctx.value("fused"), ctx.value("schedule")),
+            ),
+        ],
+        cache=resolve_cache(cache),
+    )
+
+
+def folded_flow(
+    network: str,
+    board: Board,
+    config: FoldedConfig,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
+) -> Pipeline:
+    """The seven-stage folded (MobileNet/ResNet-class) deployment flow."""
+    return Pipeline(
+        f"folded:{network}:{board.name}",
+        [
+            _import_stage(network),
+            Stage("fuse", "fused", lambda ctx: fuse_operators(ctx.value("graph"))),
+            Stage(
+                "schedule",
+                "schedule",
+                lambda ctx: schedule_folded(ctx.value("fused"), config, board),
+            ),
+            Stage("lower", "program",
+                  lambda ctx: lower_folded(ctx.value("schedule"))),
+            Stage("codegen", "source",
+                  lambda ctx: generate_opencl(ctx.value("program"))),
+            Stage(
+                "synthesize",
+                "bitstream",
+                lambda ctx: compile_program(ctx.value("program"), board, constants),
+                cache_key=synthesize_key(board, constants),
+            ),
+            Stage(
+                "plan",
+                "plan",
+                lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule")),
+            ),
+        ],
+        cache=resolve_cache(cache),
+    )

@@ -70,6 +70,7 @@ from repro.ir.tensor import (
     max_reduce,
     placeholder,
     reduce_axis,
+    reset_fresh_names,
     sum,
 )
 from repro.ir.kernel import Kernel, Program
@@ -101,7 +102,8 @@ __all__ = [
     "SeqStmt", "Stmt", "StmtMutator", "StmtVisitor", "Store", "StringImm",
     "Sub", "Tensor", "Var", "compute", "const", "convert",
     "count_flops_expr", "eval_int", "exp", "expr_str", "fmax", "fmin",
-    "free_vars", "max_reduce", "placeholder", "reduce_axis", "run_kernel",
+    "free_vars", "max_reduce", "placeholder", "reduce_axis",
+    "reset_fresh_names", "run_kernel",
     "run_program_sequential", "seq", "stmt_str", "stride_of",
     "simplify_kernel", "simplify_stmt", "structural_equal", "substitute", "substitute_stmt", "sum",
 ]

@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.ir import expr as _e
 from repro.ir import stmt as _s
-from repro.ir.functor import StmtMutator, substitute, substitute_stmt
+from repro.ir.functor import StmtMutator, substitute_stmt
 from repro.ir.kernel import Kernel
 
 

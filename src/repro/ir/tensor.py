@@ -14,7 +14,7 @@ pass attaches to the output of convolutions and dense layers (Section 3.1).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 from repro.errors import IRError
 from repro.ir import expr as _e
@@ -186,6 +186,18 @@ _unique_counter = [0]
 def _fresh(prefix: str) -> str:
     _unique_counter[0] += 1
     return f"{prefix}{_unique_counter[0]}"
+
+
+def reset_fresh_names() -> None:
+    """Restart the name uniquifier (called at the top of a build).
+
+    Axis names carry a process-global counter, so without a reset two
+    otherwise identical builds emit differently-named loop variables and
+    the generated source is not content-addressable.  Builders reset the
+    counter before constructing tensors; uniqueness within one program
+    is preserved because the counter only restarts between builds.
+    """
+    _unique_counter[0] = 0
 
 
 def placeholder(shape: Sequence[DimLike], name: str, dtype: str = _e.FLOAT32) -> Tensor:

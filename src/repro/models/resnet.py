@@ -13,7 +13,6 @@ thesis's observation that padding kernels consume 8-22% of runtime.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.errors import ReproError
 from repro.relay.graph import Graph, GraphBuilder, OpNode

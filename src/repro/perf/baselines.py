@@ -20,7 +20,7 @@ not as reproduced measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.errors import ReproError
 

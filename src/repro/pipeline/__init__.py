@@ -1,0 +1,40 @@
+"""Stage-based compilation pipeline (thesis Figure 3.1, made explicit).
+
+The deployment flow — graph import/fusion, scheduling, lowering, OpenCL
+emission, AOC synthesis, host planning — runs through a small stage/pass
+manager.  Each stage consumes and produces typed, content-fingerprinted
+artifacts; every run yields a :class:`Trace` of per-stage wall-times,
+artifact sizes and counters, and the ``synthesize`` stage is backed by a
+content-addressed :class:`CompileCache` so identical designs are never
+synthesized twice (offline compilation dominates the real toolflow, so
+real systems in this space cache aggressively).
+"""
+
+from repro.pipeline.cache import (
+    CachedFailure,
+    CompileCache,
+    DiskBackend,
+    MemoryBackend,
+    default_cache,
+    set_default_cache,
+)
+from repro.pipeline.fingerprint import canonical, fingerprint, register_canonicalizer
+from repro.pipeline.pipeline import (
+    Artifact,
+    Context,
+    Pipeline,
+    PipelineResult,
+    Stage,
+    StageDiagnostic,
+    describe_artifact,
+    register_describer,
+)
+from repro.pipeline.trace import StageRecord, Trace
+
+__all__ = [
+    "Artifact", "CachedFailure", "CompileCache", "Context", "DiskBackend",
+    "MemoryBackend", "Pipeline", "PipelineResult", "Stage", "StageDiagnostic",
+    "StageRecord", "Trace", "canonical", "default_cache", "describe_artifact",
+    "fingerprint", "register_canonicalizer", "register_describer",
+    "set_default_cache",
+]

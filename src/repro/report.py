@@ -12,7 +12,7 @@ import sys
 from typing import Dict, List, Optional, TextIO
 
 from repro.device import ALL_BOARDS, ARRIA10, STRATIX10_SX
-from repro.errors import FitError, RoutingError
+from repro.errors import FitError, ReproError, RoutingError
 from repro.flow import LEVELS, deploy_folded, deploy_pipelined
 from repro.perf import tf_cpu_fps, tf_cudnn_fps, tvm_cpu_fps
 from repro.viz import bar_chart
@@ -100,7 +100,61 @@ def fit_failures(out: TextIO) -> List[str]:
     return outcomes
 
 
+def trace_deployment(spec: str, out: TextIO = sys.stdout, as_json: bool = False) -> int:
+    """Deploy one network and print its per-stage compile trace.
+
+    ``spec`` is ``NETWORK[:MODE[:BOARD]]`` — e.g. ``lenet5``,
+    ``mobilenet_v1:folded:A10``, ``lenet5:pipelined:S10MX``.  Mode
+    defaults to ``pipelined`` for lenet5 and ``folded`` otherwise;
+    board defaults to ``S10SX``.
+    """
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.stages import MODELS
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        out.write(f"unknown network {network!r}; "
+                  f"choose from: {', '.join(sorted(MODELS))}\n")
+        return 2
+    mode = parts[1] if len(parts) > 1 else (
+        "pipelined" if network == "lenet5" else "folded"
+    )
+    if mode not in ("pipelined", "folded"):
+        out.write(f"unknown mode {mode!r}; choose 'pipelined' or 'folded'\n")
+        return 2
+    try:
+        board = board_by_name(parts[2]) if len(parts) > 2 else STRATIX10_SX
+    except KeyError:
+        out.write(f"unknown board {parts[2]!r}; choose from: "
+                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
+        return 2
+    try:
+        if mode == "pipelined":
+            d = deploy_pipelined(network, board)
+        else:
+            d = deploy_folded(network, board)
+    except ReproError as e:
+        diag = getattr(e, "diagnostic", None)
+        out.write(f"{type(e).__name__}: {e}\n")
+        if diag is not None:
+            out.write(f"failed at {diag}\n\n")
+            out.write(diag.trace.to_json(indent=2) + "\n"
+                      if as_json else diag.trace.format_table() + "\n")
+        return 1
+    out.write(d.trace.to_json(indent=2) + "\n"
+              if as_json else d.trace.format_table() + "\n")
+    return 0
+
+
 def main(out: TextIO = sys.stdout) -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "--trace":
+        if len(args) < 2:
+            out.write("usage: python -m repro.report --trace "
+                      "NETWORK[:MODE[:BOARD]] [--json]\n")
+            return 2
+        return trace_deployment(args[1], out, as_json="--json" in args[2:])
     out.write("Reproduction report — Chung, 'Optimization of Compiler-"
               "Generated OpenCL CNN Kernels and Runtime for FPGAs'\n")
     final = lenet_ladder(out)

@@ -12,7 +12,7 @@ covers every kernel species the large networks use.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 

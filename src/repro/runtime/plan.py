@@ -12,8 +12,8 @@ Two execution modes, as in thesis Chapter 3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.ir import expr as _e
 

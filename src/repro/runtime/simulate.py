@@ -20,12 +20,11 @@ serial execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.aoc.compiler import Bitstream
-from repro.device.boards import Board
 from repro.device.transfer import d2h_time_us, h2d_time_us
-from repro.runtime.plan import FoldedPlan, Invocation, PipelinePlan
+from repro.runtime.plan import FoldedPlan, PipelinePlan
 
 __all__ = [
     "RunResult",

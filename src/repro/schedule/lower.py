@@ -23,7 +23,7 @@ from repro.ir import expr as _e
 from repro.ir import stmt as _s
 from repro.ir.analysis import stmt_free_vars
 from repro.ir.buffer import Buffer, Channel
-from repro.ir.functor import ExprMutator, StmtMutator, substitute
+from repro.ir.functor import StmtMutator, substitute
 from repro.ir.kernel import Kernel
 from repro.ir.tensor import IterVar, Tensor
 from repro.schedule.schedule import Schedule, Stage

@@ -14,7 +14,6 @@ from typing import Callable, Optional
 
 from repro.errors import ScheduleError
 from repro.ir import expr as _e
-from repro.ir.tensor import Tensor
 
 
 def make_activation(kind: Optional[str]) -> Callable[[_e.Expr], _e.Expr]:

@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 
 import repro.ir as ir
 from repro.errors import ScheduleError
-from repro.schedule import Schedule, Stage, create_schedule
+from repro.schedule import Schedule, create_schedule
 from repro.topi.common import ConvSpec, ConvTiling, make_activation
 
 

@@ -10,7 +10,7 @@ have no reuse and set the kernel's memory demand).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import repro.ir as ir
 from repro.schedule import Schedule, create_schedule

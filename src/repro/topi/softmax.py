@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 import repro.ir as ir
-from repro.schedule import Schedule, create_schedule
+from repro.schedule import create_schedule
 from repro.schedule.lower import lower as _lower
 from repro.ir.kernel import Kernel
 

@@ -9,7 +9,7 @@ available in the offline environment).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.errors import ReproError
 

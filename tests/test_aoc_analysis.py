@@ -1,9 +1,7 @@
 """AOC static-analysis tests: II, LSU inference, cycles, traffic."""
 
-import numpy as np
 import pytest
 
-import repro.ir as ir
 from repro.aoc import DEFAULT_CONSTANTS, KernelAnalysis
 from repro.errors import AOCError
 from repro.schedule import lower

@@ -4,7 +4,6 @@ import pytest
 
 import repro.ir as ir
 from repro.aoc import (
-    AOCConstants,
     DEFAULT_CONSTANTS,
     KernelAnalysis,
     ResourceEstimate,

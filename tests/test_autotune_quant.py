@@ -7,12 +7,11 @@ from repro.errors import ReproError
 from repro.flow import (
     FoldedConfig,
     autotune_folded,
-    default_folded_config,
     deploy_folded,
     deploy_pipelined,
 )
 from repro.models import mobilenet_v1
-from repro.perf import PRECISIONS, precision_sweep, project_precision
+from repro.perf import precision_sweep, project_precision
 from repro.relay import fuse_operators
 from repro.topi import ConvTiling
 

@@ -8,7 +8,6 @@ from repro.flow import (
     bandwidth_roof_elems,
     choose_tiling,
     divides_all,
-    evaluate_tiling,
     explore_conv1x1,
 )
 from repro.models import mobilenet_v1
@@ -21,7 +20,6 @@ from repro.perf import (
     tvm_sweep,
 )
 from repro.relay import fuse_operators
-from repro.topi import ConvTiling
 
 
 class TestDSERequirements:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-import repro.ir as ir
 from repro.device import ARRIA10, STRATIX10_MX, STRATIX10_SX
 from repro.errors import FitError, RoutingError, UnsupportedError
 from repro.flow import (

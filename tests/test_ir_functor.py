@@ -1,7 +1,5 @@
 """Visitor/mutator infrastructure tests."""
 
-import numpy as np
-
 import repro.ir as ir
 from repro.ir.functor import ExprMutator, ExprVisitor, StmtVisitor, visit_exprs
 

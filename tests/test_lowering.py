@@ -5,7 +5,7 @@ import pytest
 
 import repro.ir as ir
 from repro.errors import LoweringError
-from repro.schedule import create_schedule, lower
+from repro.schedule import lower
 from repro.topi import (
     ConvSpec,
     ConvTiling,

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 import repro.ir as ir
 from repro import nn
-from repro.aoc import DEFAULT_CONSTANTS, KernelAnalysis
+from repro.aoc import KernelAnalysis
 from repro.schedule import lower
 from repro.topi import (
     ConvSpec,

@@ -3,7 +3,6 @@
 import io
 
 import numpy as np
-import pytest
 
 from repro.device import STRATIX10_SX
 from repro.flow import deploy_folded

@@ -1,7 +1,6 @@
 """IR simplification-pass tests."""
 
 import numpy as np
-import pytest
 
 import repro.ir as ir
 from repro.ir.simplify import simplify_kernel, simplify_stmt

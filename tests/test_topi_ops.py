@@ -5,7 +5,7 @@ import pytest
 
 import repro.ir as ir
 from repro import nn
-from repro.schedule import create_schedule, lower
+from repro.schedule import lower
 from repro.topi import (
     ConvSpec,
     ConvTiling,
@@ -19,7 +19,6 @@ from repro.topi import (
     pad_tensors,
     pool_tensors,
     schedule_conv1x1_opt,
-    schedule_conv2d_opt,
     schedule_dense_naive,
     schedule_dense_opt,
     schedule_depthwise_naive,

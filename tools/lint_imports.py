@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Repo-local import lint: unused, duplicate, and misordered imports.
+
+Checks every module under ``src/`` (and test files) for:
+
+* module-level imports never referenced in the module (``__init__.py``
+  re-export modules are exempt from the unused check);
+* the same name imported more than once at module level (function-local
+  imports are scoped and deliberately exempt);
+* import-group ordering in the leading import block: ``__future__``,
+  then stdlib, then third-party, then first-party (``repro``) — each
+  group rank must be non-decreasing.
+
+Exit status 1 when any finding is reported.  Run as
+``python tools/lint_imports.py`` from the repository root; this is what
+the CI lint job executes, so it stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import sysconfig
+from pathlib import Path
+
+FIRST_PARTY = {"repro", "tests"}
+STDLIB = set(getattr(sys, "stdlib_module_names", ())) or {
+    p.stem for p in Path(sysconfig.get_paths()["stdlib"]).iterdir()
+}
+
+
+def group_rank(module: str) -> int:
+    root = module.split(".")[0]
+    if root == "__future__":
+        return 0
+    if root in FIRST_PARTY:
+        return 3
+    if root in STDLIB:
+        return 1
+    return 2  # third-party
+
+
+def imported_names(node: ast.stmt):
+    if isinstance(node, ast.Import):
+        for a in node.names:
+            yield (a.asname or a.name).split(".")[0]
+    elif isinstance(node, ast.ImportFrom):
+        for a in node.names:
+            if a.name != "*":
+                yield a.asname or a.name
+
+
+def check_file(path: Path) -> list:
+    tree = ast.parse(path.read_text())
+    findings = []
+    seen = {}
+
+    # -- unused + duplicates over module-level imports ------------------
+    used = {n.id for n in ast.walk(tree) if isinstance(n, ast.Name)}
+    is_package_init = path.name == "__init__.py"
+    for node in tree.body:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        for name in imported_names(node):
+            if name in seen and seen[name] != node.lineno:
+                findings.append(
+                    f"{path}:{node.lineno}: duplicate import {name!r} "
+                    f"(first at line {seen[name]})"
+                )
+            seen.setdefault(name, node.lineno)
+            if not is_package_init and name not in used:
+                findings.append(f"{path}:{node.lineno}: unused import {name!r}")
+
+    # -- group ordering in the leading import block ---------------------
+    rank = 0
+    for node in tree.body:
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            continue  # docstring
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            break
+        module = (
+            node.names[0].name
+            if isinstance(node, ast.Import)
+            else (node.module or "")
+        )
+        r = group_rank(module)
+        if r < rank:
+            findings.append(
+                f"{path}:{node.lineno}: import of {module!r} out of group "
+                "order (stdlib -> third-party -> first-party)"
+            )
+        rank = max(rank, r)
+    return findings
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    findings = []
+    for sub in ("src", "tests", "tools"):
+        for path in sorted((root / sub).rglob("*.py")):
+            findings.extend(check_file(path))
+    for f in findings:
+        print(f)
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
