@@ -11,6 +11,7 @@ runtime simulator uses to cost invocations.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -19,7 +20,7 @@ from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.aoc.fmax import TimingReport, timing
 from repro.aoc.resources import ResourceEstimate, channel_rams, estimate_kernel
 from repro.device.boards import Board
-from repro.errors import FitError, RoutingError
+from repro.errors import AOCError, FitError, RoutingError, RuntimeSimError
 from repro.ir.kernel import Kernel, Program
 
 
@@ -67,8 +68,23 @@ class Bitstream:
         }
 
     # ------------------------------------------------------------------
+    def hw_kernel(self, name: str) -> HwKernel:
+        """The synthesized kernel named ``name``.
+
+        Raises :class:`~repro.errors.RuntimeSimError` (not a bare
+        ``KeyError``) for an unknown name, listing what the bitstream
+        actually provides — the failure a bad host program hits first.
+        """
+        try:
+            return self.hw[name]
+        except KeyError:
+            raise RuntimeSimError(
+                f"bitstream {self.program.name!r} has no kernel {name!r}; "
+                f"available kernels: {', '.join(sorted(self.hw)) or '(none)'}"
+            ) from None
+
     def kernel_cycles(self, name: str, bindings: Optional[Bindings] = None) -> int:
-        return self.hw[name].analysis.compute_cycles(bindings)
+        return self.hw_kernel(name).analysis.compute_cycles(bindings)
 
     def kernel_time_us(self, name: str, bindings: Optional[Bindings] = None) -> float:
         """Device-side execution time of one invocation, microseconds.
@@ -76,7 +92,7 @@ class Bitstream:
         The larger of the compute-issue time and the DRAM-traffic time
         (bandwidth roofline at this kernel's LSU efficiency).
         """
-        hwk = self.hw[name]
+        hwk = self.hw_kernel(name)
         cycles = hwk.analysis.compute_cycles(bindings)
         if hwk.analysis.is_pure_transform():
             cycles = cycles / self.constants.transform_simd_width
@@ -89,7 +105,7 @@ class Bitstream:
         return max(t_compute, t_mem)
 
     def kernel_flops(self, name: str, bindings: Optional[Bindings] = None) -> int:
-        return self.hw[name].analysis.flops(bindings)
+        return self.hw_kernel(name).analysis.flops(bindings)
 
     def __repr__(self) -> str:
         u = self.utilization()
@@ -100,11 +116,54 @@ class Bitstream:
         )
 
 
+def _seed_relief(program_name: str, board_name: str, seed: int) -> float:
+    """Congestion relief a fresh placement seed buys, in [0, 0.08].
+
+    Deterministic per (program, board, seed); seed 0 — the default
+    placement — gets no relief, so baseline behaviour is unchanged.
+    Relief is one-sided: a new seed can rescue a marginal design but
+    never breaks one that already routes (optimistic vs. real Quartus,
+    where seeds cut both ways, but it keeps recovery monotone).
+    """
+    if seed == 0:
+        return 0.0
+    rng = random.Random(f"placement:{program_name}:{board_name}:{seed}")
+    return rng.uniform(0.0, 0.08)
+
+
+def _injected_synth_fault(program: Program, board: Board) -> None:
+    """Probe the active fault plan at the synthesize boundary."""
+    from repro.resilience.faults import probe  # local: avoids import cycle
+
+    fault = probe("synthesize", program.name)
+    if fault is None:
+        return
+    if fault.kind == "routing":
+        err: AOCError = RoutingError(
+            f"injected: routing failure for {program.name} on {board.name} "
+            f"(placement congestion, fault plan)"
+        )
+    elif fault.kind == "fit":
+        err = FitError(
+            f"injected: fit failure for {program.name} on {board.name} "
+            f"(fault plan)"
+        )
+    else:
+        err = AOCError(
+            f"injected: offline-compiler crash while synthesizing "
+            f"{program.name} (fault plan)"
+        )
+    err.transient = fault.transient
+    err.injected = True
+    raise err
+
+
 def compile_program(
     program: Program,
     board: Board,
     constants: AOCConstants = DEFAULT_CONSTANTS,
     strict_fit: bool = True,
+    placement_seed: int = 0,
 ) -> Bitstream:
     """Synthesize a program for a board (the ``aoc`` invocation).
 
@@ -112,8 +171,15 @@ def compile_program(
     :class:`RoutingError` when congestion defeats the router.  Pass
     ``strict_fit=False`` to obtain the bitstream object anyway (used by
     area-exploration benches to report the failure point).
+
+    ``placement_seed`` models Quartus's ``-seed``: a non-zero seed
+    re-randomizes placement, which can relieve marginal routing
+    congestion (see :func:`_seed_relief`).  Structural failures — fit
+    overflows and single-kernel fanout — are seed-independent, exactly
+    as on real hardware.
     """
     program.validate_channels()
+    _injected_synth_fault(program, board)
     hw: Dict[str, HwKernel] = {}
     total = ResourceEstimate()
     replicas = 0
@@ -158,6 +224,20 @@ def compile_program(
             congestion=report.congestion,
             routed=report.routed,
         )
+    # placement-seed sweep: a new seed can relieve marginal congestion,
+    # but never fixes a fanout (structural) routing failure
+    if (
+        placement_seed
+        and not report.routed
+        and max_fanout <= board.max_kernel_fanout
+    ):
+        relieved = report.congestion * (
+            1.0 - _seed_relief(program.name, board.name, placement_seed)
+        )
+        if relieved <= board.routing_threshold:
+            report = TimingReport(
+                fmax_mhz=report.fmax_mhz, congestion=relieved, routed=True
+            )
     bitstream = Bitstream(program, board, hw, total, report, constants)
 
     if strict_fit:

@@ -10,7 +10,23 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    Two class-level flags drive the :mod:`repro.resilience` layer:
+
+    ``transient``
+        The failure is expected to clear on retry (a crashed AOC run, a
+        dropped DMA transfer).  Retry policies only re-attempt transient
+        errors; the compile cache never records them as deterministic
+        outcomes.
+    ``injected``
+        The error was raised by an active :class:`~repro.resilience.FaultPlan`
+        rather than by the model itself.  Injected failures are likewise
+        never cached.
+    """
+
+    transient: bool = False
+    injected: bool = False
 
 
 class IRError(ReproError):
@@ -48,6 +64,32 @@ class RoutingError(AOCError):
 
 class RuntimeSimError(ReproError):
     """Host-runtime simulation error (deadlocked channels, bad enqueue...)."""
+
+
+class TransferError(RuntimeSimError):
+    """A host<->device DMA transfer (or its enqueue) failed.
+
+    Transient by default: real PCIe transfers fail sporadically and
+    succeed on re-enqueue, which is how the runtime recovers from them.
+    """
+
+    transient = True
+
+
+class DeviceLostError(RuntimeSimError):
+    """The device disappeared mid-run (bus reset, driver crash).
+
+    Transient by default: re-opening the context usually recovers.
+    """
+
+    transient = True
+
+
+class DeadlockError(RuntimeSimError):
+    """The runtime watchdog's verdict: a channel-wait cycle or a stage
+    that exceeded the virtual-time budget.  Carries a diagnosis of which
+    stage is blocked on which channel and the occupancy at stall time.
+    """
 
 
 class PipelineError(ReproError):

@@ -1,10 +1,14 @@
 """End-to-end deployment flow: model -> kernels -> bitstream -> simulation."""
 
 from repro.flow.deploy import (
+    DegradationLadder,
     Deployment,
+    ResilientDeployment,
+    RungAttempt,
     default_folded_config,
     deploy_folded,
     deploy_pipelined,
+    deploy_resilient,
     MOBILENET_1X1_TILINGS,
 )
 from repro.flow.artifacts import FoldedSchedule, PipelinedSchedule, ScheduledKernel
@@ -37,7 +41,9 @@ from repro.flow.dse import (
 )
 
 __all__ = [
-    "DSEPoint", "TuneResult", "autotune_folded", "Deployment", "FoldedConfig",
+    "DSEPoint", "DegradationLadder", "TuneResult", "autotune_folded",
+    "Deployment", "ResilientDeployment", "RungAttempt", "deploy_resilient",
+    "FoldedConfig",
     "FoldedSchedule", "LEVELS", "MOBILENET_1X1_TILINGS", "MODELS",
     "PipelinedSchedule", "ScheduledKernel", "SweepSummary",
     "bandwidth_roof_elems", "build_folded", "build_pipelined", "choose_tiling",

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
-from repro.errors import FitError, RoutingError
+from repro.errors import AOCError, FitError
 from repro.flow.dse import divides_all
 from repro.flow.folded import FoldedConfig
 from repro.flow.stages import CacheOption, folded_flow, resolve_cache
@@ -40,6 +40,10 @@ class TuneResult:
     #: compile-cache accounting over the whole run
     cache_hits: int = 0
     cache_misses: int = 0
+    #: candidate configurations the compiler rejected (any AOCError)
+    failed_points: int = 0
+    #: (group, tiling, reason) per rejected candidate
+    failures: List[Tuple[GroupId, ConvTiling, str]] = field(default_factory=list)
 
 
 def _group_extents(fused: FusedGraph) -> Dict[GroupId, Dict[str, List[int]]]:
@@ -76,13 +80,15 @@ def _evaluate(
     config: FoldedConfig,
     constants: AOCConstants,
     cache: CacheOption = None,
-) -> Optional[float]:
+) -> Tuple[Optional[float], Optional[str]]:
+    """``(fps, None)`` on success, ``(None, reason)`` on any AOC failure."""
     flow = folded_flow(fused.graph.name, board, config, constants, cache=cache)
     try:
         result = flow.run(seed={"graph": fused.graph, "fused": fused})
-    except (FitError, RoutingError):
-        return None
-    return simulate_folded(result.value("bitstream"), result.value("plan")).fps
+    except AOCError as e:
+        return None, f"{type(e).__name__}: {e}"
+    fps = simulate_folded(result.value("bitstream"), result.value("plan")).fps
+    return fps, None
 
 
 def autotune_folded(
@@ -112,11 +118,14 @@ def autotune_folded(
     extents = _group_extents(fused)
     evaluations = 0
     history: List[Tuple[GroupId, ConvTiling, float]] = []
+    failures: List[Tuple[GroupId, ConvTiling, str]] = []
 
-    best = _evaluate(fused, board, config, constants, eval_cache)
+    best, reason = _evaluate(fused, board, config, constants, eval_cache)
     evaluations += 1
     if best is None:
-        raise FitError("starting configuration does not fit/route")
+        raise FitError(
+            f"starting configuration does not fit/route: {reason}"
+        )
 
     for _ in range(max_rounds):
         improved = False
@@ -140,8 +149,12 @@ def autotune_folded(
                         unroll_ff=current.unroll_ff,
                     )
                     config.conv_tilings[gid] = trial
-                    fps = _evaluate(fused, board, config, constants, eval_cache)
+                    fps, reason = _evaluate(
+                        fused, board, config, constants, eval_cache
+                    )
                     evaluations += 1
+                    if reason is not None:
+                        failures.append((gid, trial, reason))
                     if fps is not None and fps > best * 1.001:
                         best = fps
                         current = trial
@@ -157,4 +170,5 @@ def autotune_folded(
         config=config, fps=best, evaluations=evaluations, history=history,
         cache_hits=stats1["hits"] - stats0["hits"],
         cache_misses=stats1["misses"] - stats0["misses"],
+        failed_points=len(failures), failures=failures,
     )

@@ -14,8 +14,8 @@ what the benchmark suite reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -23,12 +23,20 @@ from repro.aoc.compiler import Bitstream
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.codegen import generate_opencl
 from repro.device.boards import Board
-from repro.errors import ReproError
+from repro.errors import ReproError, RuntimeSimError
 from repro.flow.folded import FoldedConfig
 from repro.flow.stages import CacheOption, MODELS, folded_flow, pipelined_flow
 from repro.pipeline import Trace
-from repro.relay import FusedGraph, init_params, run_fused_graph
+from repro.relay import FusedGraph, fuse_operators, init_params, run_fused_graph
 from repro.relay.graph import Graph
+from repro.resilience.config import ResilienceConfig, current_config
+from repro.resilience.events import log as _resilience_log
+from repro.resilience.events import record as _record
+from repro.resilience.faults import active_plan as _active_plan
+from repro.resilience.faults import probe as _probe
+from repro.resilience.retry import VirtualClock, retry
+from repro.resilience.watchdog import Watchdog
+from repro.runtime.opencl import run_pipelined_event
 from repro.runtime.simulate import (
     RunResult,
     per_op_profile,
@@ -144,8 +152,14 @@ class Deployment:
         return self._params
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Functional inference (NumPy executor over the fused graph)."""
-        return run_fused_graph(self.fused, x, self.params)
+        """Functional inference (NumPy executor over the fused graph).
+
+        Probes the ``buffer`` fault site: an active ``bitflip`` fault
+        corrupts one element of the output buffer, modelling a device-
+        memory upset that only a logits cross-check can catch.
+        """
+        y = run_fused_graph(self.fused, x, self.params)
+        return _corrupt_buffer(y, self.network)
 
     def classify(self, x: np.ndarray) -> int:
         """Class index for one input image."""
@@ -213,3 +227,278 @@ def deploy_folded(
         mode="folded", level="naive" if config.naive else "folded",
         trace=result.trace,
     )
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation: the resilient deployment ladder
+
+
+def _corrupt_buffer(y: np.ndarray, label: str) -> np.ndarray:
+    """Apply an active ``bitflip`` buffer fault to an output array."""
+    fault = _probe("buffer", label)
+    if fault is None or fault.kind != "bitflip":
+        return y
+    plan = _active_plan()
+    flat = np.ascontiguousarray(y, dtype=np.float32).reshape(-1).copy()
+    idx = plan.rng("bitflip", fault.fired).randrange(flat.size) if plan else 0
+    bit = int(fault.param or 30)
+    bits = flat.view(np.uint32)
+    bits[idx] ^= np.uint32(1 << bit)
+    _record(
+        "corruption", "buffer",
+        f"{label}: bit {bit} of output element {idx} flipped "
+        f"(device-memory upset)",
+        element=idx, bit=bit,
+    )
+    return flat.reshape(y.shape)
+
+
+@dataclass
+class RungAttempt:
+    """Outcome of one ladder rung."""
+
+    rung: str
+    ok: bool
+    reason: str = ""
+
+
+@dataclass
+class ResilientDeployment:
+    """What the degradation ladder actually delivered."""
+
+    network: str
+    board: Board
+    #: the rung that served: 'pipelined-concurrent' | 'pipelined-serial'
+    #: | 'folded' | 'cpu'
+    rung: str
+    #: classification output, verified against the functional reference
+    logits: np.ndarray
+    #: the served deployment (None when the CPU rung served)
+    deployment: Optional[Deployment] = None
+    #: timing of the serving rung ({'fps', 'time_per_image_us', ...});
+    #: empty for the CPU rung, which makes no throughput claim
+    timing: Dict[str, float] = field(default_factory=dict)
+    #: every rung tried, in order, with failure reasons
+    attempts: List[RungAttempt] = field(default_factory=list)
+    #: resilience events covering the whole ladder run, as plain dicts
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return any(not a.ok for a in self.attempts)
+
+    @property
+    def fps(self) -> float:
+        return float(self.timing.get("fps", 0.0))
+
+    def classify(self) -> int:
+        return int(np.argmax(self.logits))
+
+    def __repr__(self) -> str:
+        tag = " degraded" if self.degraded else ""
+        return (
+            f"ResilientDeployment({self.network} on {self.board.name} "
+            f"via {self.rung}{tag})"
+        )
+
+
+class DegradationLadder:
+    """Concurrent pipelined -> serial pipelined -> folded -> CPU.
+
+    Each rung builds (memoized) and runs a deployment under the current
+    :class:`~repro.resilience.ResilienceConfig`: runs are retried with
+    backoff on transient runtime failures, bounded by a watchdog, and
+    the rung's logits are cross-checked against the CPU functional
+    reference before it is allowed to serve.  A rung that cannot build
+    (e.g. a folded-only network has no pipelined schedule), keeps
+    failing, or produces wrong logits falls through to the next; the CPU
+    reference executor is the final rung and always serves.
+    """
+
+    RUNGS = ("pipelined-concurrent", "pipelined-serial", "folded", "cpu")
+
+    def __init__(
+        self,
+        network: str,
+        board: Board,
+        constants: AOCConstants = DEFAULT_CONSTANTS,
+        cache: CacheOption = None,
+        config: Optional[ResilienceConfig] = None,
+        level: str = "tvm_autorun",
+    ) -> None:
+        self.network = network
+        self.board = board
+        self.constants = constants
+        self.cache = cache
+        self.config = config
+        self.level = level
+        self._built: Dict[str, Deployment] = {}
+        self._build_errors: Dict[str, ReproError] = {}
+
+    # -- builds (memoized, including failures) --------------------------
+    def _build(self, mode: str) -> Deployment:
+        if mode in self._built:
+            return self._built[mode]
+        if mode in self._build_errors:
+            raise self._build_errors[mode]
+        try:
+            if mode == "pipelined":
+                dep = deploy_pipelined(
+                    self.network, self.board, level=self.level,
+                    constants=self.constants, cache=self.cache,
+                )
+            else:
+                try:
+                    config = default_folded_config(self.network, self.board)
+                except ReproError:
+                    # LeNet-class networks have no thesis tiling table;
+                    # the generic folded config still builds them
+                    config = FoldedConfig()
+                dep = deploy_folded(
+                    self.network, self.board, config=config,
+                    constants=self.constants, cache=self.cache,
+                )
+        except ReproError as err:
+            self._build_errors[mode] = err
+            raise
+        self._built[mode] = dep
+        return dep
+
+    # -- one rung --------------------------------------------------------
+    def _try_rung(
+        self,
+        rung: str,
+        x: np.ndarray,
+        reference: np.ndarray,
+        cfg: ResilienceConfig,
+    ) -> "ResilientDeployment":
+        plan = _active_plan()
+        seed = plan.seed if plan else 0
+        clock = VirtualClock()
+        watchdog = Watchdog(cfg.watchdog_budget_us)
+        if rung == "pipelined-concurrent":
+            dep = self._build("pipelined")
+            timing = retry(
+                lambda: run_pipelined_event(
+                    dep.bitstream, dep.plan, retry_policy=cfg.retry,
+                    watchdog=watchdog,
+                ),
+                cfg.retry, retry_on=(RuntimeSimError,), clock=clock,
+                seed=seed, site="ladder", label=rung,
+            )
+            timing = {
+                "fps": timing["fps"],
+                "time_per_image_us": timing["time_per_image_us"],
+            }
+        elif rung == "pipelined-serial":
+            dep = self._build("pipelined")
+            result = retry(
+                lambda: simulate_pipelined(dep.bitstream, dep.plan, False),
+                cfg.retry, retry_on=(RuntimeSimError,), clock=clock,
+                seed=seed, site="ladder", label=rung,
+            )
+            timing = {
+                "fps": result.fps,
+                "time_per_image_us": result.time_per_image_us,
+            }
+        else:  # folded
+            dep = self._build("folded")
+            result = retry(
+                lambda: simulate_folded(dep.bitstream, dep.plan),
+                cfg.retry, retry_on=(RuntimeSimError,), clock=clock,
+                seed=seed, site="ladder", label=rung,
+            )
+            timing = {
+                "fps": result.fps,
+                "time_per_image_us": result.time_per_image_us,
+            }
+        logits = dep.forward(x)
+        if not np.allclose(logits, reference, atol=cfg.crosscheck_atol):
+            worst = float(np.max(np.abs(logits - reference)))
+            _record(
+                "crosscheck", "ladder",
+                f"{rung}: logits diverge from the functional reference "
+                f"(max abs error {worst:.3g} > atol {cfg.crosscheck_atol:g})",
+                max_abs_error=worst,
+            )
+            raise RuntimeSimError(
+                f"{rung} deployment of {self.network} produced logits "
+                f"diverging from the functional reference "
+                f"(max abs error {worst:.3g})"
+            )
+        return ResilientDeployment(
+            network=self.network, board=self.board, rung=rung,
+            logits=logits, deployment=dep, timing=timing,
+        )
+
+    # -- the ladder ------------------------------------------------------
+    def run(self, x: Optional[np.ndarray] = None) -> ResilientDeployment:
+        """Deploy and serve one inference, degrading as needed."""
+        cfg = self.config or current_config()
+        cursor = _resilience_log().cursor()
+        graph = MODELS[self.network]()
+        fused = fuse_operators(graph)
+        params = init_params(graph, seed=0)
+        if x is None:
+            rng = np.random.default_rng(0)
+            x = rng.standard_normal(graph.input.out_shape).astype(np.float32)
+        # ground truth, computed outside any fault probe
+        reference = run_fused_graph(fused, x, params)
+
+        attempts: List[RungAttempt] = []
+        for rung in self.RUNGS:
+            if rung == "cpu":
+                _record(
+                    "served", "ladder",
+                    f"{self.network}: CPU functional executor serving "
+                    f"(all device rungs exhausted)",
+                )
+                attempts.append(RungAttempt(rung, ok=True))
+                served = ResilientDeployment(
+                    network=self.network, board=self.board, rung=rung,
+                    logits=reference,
+                )
+                break
+            try:
+                served = self._try_rung(rung, x, reference, cfg)
+            except ReproError as err:
+                reason = f"{type(err).__name__}: {err}"
+                attempts.append(RungAttempt(rung, ok=False, reason=reason))
+                _record(
+                    "fallback", "ladder",
+                    f"{self.network}: rung {rung} failed ({reason}); "
+                    f"degrading to the next rung",
+                )
+                continue
+            attempts.append(RungAttempt(rung, ok=True))
+            _record(
+                "served", "ladder",
+                f"{self.network}: rung {rung} serving at "
+                f"{served.timing.get('fps', 0.0):.1f} fps",
+            )
+            break
+        served.attempts = attempts
+        served.events = [e.to_dict() for e in _resilience_log().since(cursor)]
+        return served
+
+
+def deploy_resilient(
+    network: str,
+    board: Board,
+    x: Optional[np.ndarray] = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
+    config: Optional[ResilienceConfig] = None,
+) -> ResilientDeployment:
+    """Deploy ``network`` with the full degradation ladder.
+
+    Tries concurrent pipelined execution first, then a single command
+    queue, then a folded deployment, and finally the CPU functional
+    executor — cross-checking logits at every device rung — so a
+    deployment is always returned, with the recovery story in
+    ``.attempts`` and ``.events``.
+    """
+    ladder = DegradationLadder(
+        network, board, constants=constants, cache=cache, config=config
+    )
+    return ladder.run(x)

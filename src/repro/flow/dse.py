@@ -26,7 +26,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
-from repro.errors import FitError, RoutingError
+from repro.errors import AOCError, FitError, RoutingError
 from repro.flow.folded import FoldedConfig
 from repro.flow.stages import CacheOption, folded_flow, resolve_cache
 from repro.relay.passes import FusedGraph
@@ -62,6 +62,12 @@ class SweepSummary:
     @property
     def best(self) -> DSEPoint:
         return choose_tiling(self.points)
+
+    @property
+    def failed_points(self) -> int:
+        """Points the compiler rejected (fit, route, or any other AOC
+        failure) — evaluated but infeasible."""
+        return sum(1 for p in self.points if p.fail_reason is not None)
 
 
 def bandwidth_roof_elems(board: Board, fmax_mhz: float) -> int:
@@ -111,6 +117,13 @@ def evaluate_tiling(
         return DSEPoint(tiling, fits=False, routed=True, fail_reason=str(e))
     except RoutingError as e:
         return DSEPoint(tiling, fits=True, routed=False, fail_reason=str(e))
+    except AOCError as e:
+        # any other compiler failure (crash, internal error): the point
+        # is recorded as infeasible instead of aborting the whole sweep
+        return DSEPoint(
+            tiling, fits=False, routed=False,
+            fail_reason=f"{type(e).__name__}: {e}",
+        )
     bs = result.value("bitstream")
     sim = simulate_folded(bs, result.value("plan"))
     return DSEPoint(

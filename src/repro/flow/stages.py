@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Union
 
-from repro.aoc.compiler import compile_program
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.codegen import generate_opencl
 from repro.device.boards import Board
@@ -50,6 +49,7 @@ from repro.models import (
 from repro.pipeline import CompileCache, Context, Pipeline, Stage, default_cache
 from repro.pipeline.fingerprint import fingerprint
 from repro.relay import fuse_operators
+from repro.resilience.synth import synthesize_resilient
 
 #: name -> graph constructor, the networks the flow knows how to import
 MODELS: Dict[str, Callable] = {
@@ -139,7 +139,9 @@ def pipelined_flow(
             Stage(
                 "synthesize",
                 "bitstream",
-                lambda ctx: compile_program(ctx.value("program"), board, constants),
+                lambda ctx: synthesize_resilient(
+                    ctx.value("program"), board, constants
+                ),
                 cache_key=synthesize_key(board, constants),
             ),
             Stage(
@@ -177,7 +179,9 @@ def folded_flow(
             Stage(
                 "synthesize",
                 "bitstream",
-                lambda ctx: compile_program(ctx.value("program"), board, constants),
+                lambda ctx: synthesize_resilient(
+                    ctx.value("program"), board, constants
+                ),
                 cache_key=synthesize_key(board, constants),
             ),
             Stage(

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
+
 #: environment variable enabling the on-disk backend of the default cache
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -36,6 +38,9 @@ class CachedFailure:
 
     kind: str  # exception class name within repro.errors
     message: str
+    #: placement seeds the resilient synthesize stage attempted before
+    #: giving up (empty when no seed sweep ran)
+    seeds_tried: Tuple[int, ...] = ()
 
 
 class MemoryBackend:
@@ -87,11 +92,21 @@ class DiskBackend:
             return _MISS
 
     def put(self, key: str, value: object) -> None:
-        # atomic publish: write to a temp file, then rename into place
+        # atomic publish: write to a temp file, verify it round-trips,
+        # then rename into place — a torn or unpicklable entry must never
+        # become visible under the final name
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                with open(tmp, "rb") as fh:
+                    pickle.load(fh)
+            except Exception as err:
+                raise ReproError(
+                    f"compile-cache entry {key!r} failed round-trip "
+                    f"verification after write: {err}"
+                ) from err
             os.replace(tmp, self._path(key))
         except Exception:
             try:

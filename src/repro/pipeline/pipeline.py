@@ -32,6 +32,7 @@ from repro.ir.kernel import Kernel, Program
 from repro.pipeline.cache import CachedFailure, CompileCache
 from repro.pipeline.fingerprint import fingerprint, register_canonicalizer
 from repro.pipeline.trace import StageRecord, Trace
+from repro.resilience.events import log as _resilience_log
 from repro.relay.graph import Graph
 from repro.relay.passes import FusedGraph
 from repro.runtime.plan import FoldedPlan, PipelinePlan
@@ -165,6 +166,7 @@ class Pipeline:
                 continue
 
             cache_status: Optional[str] = None
+            events_cursor = _resilience_log().cursor()
             try:
                 value, cache_status = self._execute(stage, ctx)
             except ReproError as err:
@@ -174,6 +176,7 @@ class Pipeline:
                         stage=stage.name, status="error", t_start=t_start,
                         t_end=t_end, artifact=stage.output, cache=cache_status,
                         error=f"{type(err).__name__}: {err}",
+                        events=_stage_events(events_cursor),
                     )
                 )
                 diag = StageDiagnostic(
@@ -194,6 +197,7 @@ class Pipeline:
                     t_start=t_start, t_end=t_end, artifact=art.name,
                     fingerprint=art.fingerprint, size=art.size,
                     counters=art.counters, cache=cache_status,
+                    events=_stage_events(events_cursor),
                 )
             )
         return PipelineResult(ctx, Trace(self.name, records))
@@ -213,23 +217,43 @@ class Pipeline:
         except ReproError as err:
             if _is_deterministic(err):
                 self.cache.store(
-                    key, CachedFailure(type(err).__name__, str(err))
+                    key,
+                    CachedFailure(
+                        type(err).__name__, str(err),
+                        seeds_tried=tuple(getattr(err, "seeds_tried", ())),
+                    ),
                 )
             raise
         self.cache.store(key, value)
         return value, "miss"
 
 
+def _stage_events(cursor: int) -> List[Dict[str, object]]:
+    """Resilience events recorded since ``cursor``, as plain dicts."""
+    return [e.to_dict() for e in _resilience_log().since(cursor)]
+
+
 def _is_deterministic(err: ReproError) -> bool:
-    """Only model-level synthesis outcomes are safe to replay."""
-    return isinstance(err, _errors.AOCError)
+    """Only model-level synthesis outcomes are safe to replay.
+
+    Transient failures clear on retry and injected failures exist only
+    under the active fault plan — caching either would poison later
+    fault-free runs.
+    """
+    return (
+        isinstance(err, _errors.AOCError)
+        and not getattr(err, "transient", False)
+        and not getattr(err, "injected", False)
+    )
 
 
 def _replay_failure(failure: CachedFailure) -> ReproError:
     cls = getattr(_errors, failure.kind, None)
     if not (isinstance(cls, type) and issubclass(cls, ReproError)):
         cls = ReproError
-    return cls(failure.message)
+    err = cls(failure.message)
+    err.seeds_tried = tuple(getattr(failure, "seeds_tried", ()))
+    return err
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,9 @@ class StageRecord:
     #: 'hit' | 'miss' for cache-backed stages, None otherwise
     cache: Optional[str] = None
     error: Optional[str] = None
+    #: structured resilience events (faults, retries, watchdog verdicts)
+    #: fired while this stage executed, as plain dicts
+    events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def wall_ms(self) -> float:
@@ -77,6 +80,7 @@ class Trace:
                     "counters": dict(r.counters),
                     "cache": r.cache,
                     "error": r.error,
+                    "events": [dict(e) for e in r.events],
                 }
                 for r in self.records
             ],
@@ -105,7 +109,13 @@ class Trace:
             )
             if r.error:
                 lines.append(f"{'':11} !! {r.error}")
+            for e in r.events:
+                lines.append(f"{'':11} ~~ [{e.get('kind')}] {e.get('detail')}")
         return "\n".join(lines)
+
+    def resilience_events(self) -> List[Dict[str, object]]:
+        """All resilience events across all stages, in stage order."""
+        return [e for r in self.records for e in r.events]
 
 
 def _fmt(v: float) -> str:

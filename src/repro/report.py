@@ -100,13 +100,34 @@ def fit_failures(out: TextIO) -> List[str]:
     return outcomes
 
 
-def trace_deployment(spec: str, out: TextIO = sys.stdout, as_json: bool = False) -> int:
+def _demo_fault_plan():
+    """The documentation fault plan exercised by ``--trace ... --faults``:
+    a transient routing failure, a channel stall and a DMA write error,
+    all recovered by the resilience layer."""
+    from repro.resilience import Fault, FaultPlan
+
+    return FaultPlan(
+        Fault("synthesize", "routing", times=1),
+        Fault("channel", "stall", times=1, param=800.0),
+        Fault("enqueue.write", "dma", times=1),
+    )
+
+
+def trace_deployment(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+    with_faults: bool = False,
+) -> int:
     """Deploy one network and print its per-stage compile trace.
 
     ``spec`` is ``NETWORK[:MODE[:BOARD]]`` — e.g. ``lenet5``,
     ``mobilenet_v1:folded:A10``, ``lenet5:pipelined:S10MX``.  Mode
     defaults to ``pipelined`` for lenet5 and ``folded`` otherwise;
-    board defaults to ``S10SX``.
+    board defaults to ``S10SX``.  With ``with_faults`` the deploy runs
+    under a demo fault plan (seeded by ``REPRO_FAULT_SEED``) through the
+    resilient degradation ladder, and the recovery events are printed
+    after the trace.
     """
     from repro.device import ALL_BOARDS, board_by_name
     from repro.flow.stages import MODELS
@@ -129,6 +150,8 @@ def trace_deployment(spec: str, out: TextIO = sys.stdout, as_json: bool = False)
         out.write(f"unknown board {parts[2]!r}; choose from: "
                   f"{', '.join(b.name for b in ALL_BOARDS)}\n")
         return 2
+    if with_faults:
+        return _trace_with_faults(network, board, out, as_json)
     try:
         if mode == "pipelined":
             d = deploy_pipelined(network, board)
@@ -147,14 +170,55 @@ def trace_deployment(spec: str, out: TextIO = sys.stdout, as_json: bool = False)
     return 0
 
 
+def _trace_with_faults(network, board, out: TextIO, as_json: bool) -> int:
+    """Resilient deploy under the demo fault plan + recovery events."""
+    import json
+
+    from repro.flow import deploy_resilient
+
+    plan = _demo_fault_plan()
+    with plan:
+        r = deploy_resilient(network, board, cache=False)
+    if as_json:
+        payload = {
+            "network": network,
+            "board": board.name,
+            "rung": r.rung,
+            "fps": r.fps,
+            "attempts": [
+                {"rung": a.rung, "ok": a.ok, "reason": a.reason}
+                for a in r.attempts
+            ],
+            "events": r.events,
+            "trace": (
+                r.deployment.trace.to_dict()
+                if r.deployment is not None and r.deployment.trace else None
+            ),
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+    out.write(f"fault plan: {plan!r}\n")
+    if r.deployment is not None and r.deployment.trace is not None:
+        out.write(r.deployment.trace.format_table() + "\n")
+    out.write(f"\nserved by rung {r.rung!r}"
+              + (f" at {r.fps:.1f} fps" if r.timing else "") + "\n")
+    out.write("resilience events:\n")
+    for e in r.events:
+        out.write(f"  [{e['kind']:>10}] {e['site']:<14} {e['detail']}\n")
+    return 0
+
+
 def main(out: TextIO = sys.stdout) -> int:
     args = sys.argv[1:]
     if args and args[0] == "--trace":
         if len(args) < 2:
             out.write("usage: python -m repro.report --trace "
-                      "NETWORK[:MODE[:BOARD]] [--json]\n")
+                      "NETWORK[:MODE[:BOARD]] [--json] [--faults]\n")
             return 2
-        return trace_deployment(args[1], out, as_json="--json" in args[2:])
+        return trace_deployment(
+            args[1], out, as_json="--json" in args[2:],
+            with_faults="--faults" in args[2:],
+        )
     out.write("Reproduction report — Chung, 'Optimization of Compiler-"
               "Generated OpenCL CNN Kernels and Runtime for FPGAs'\n")
     final = lenet_ladder(out)

@@ -1,0 +1,68 @@
+"""Process-wide resilience policy knobs.
+
+The defaults preserve baseline behaviour exactly: deterministic routing
+failures raise on the first attempt (``routing_seeds=1`` — only
+placement seed 0 is tried), and only *transient* synthesis failures are
+retried.  Sweeps and ladders opt into more aggressive recovery via
+:func:`configured` or an explicit :class:`ResilienceConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ResilienceConfig", "current_config", "set_config", "configured"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Recovery-policy knobs used across the flow."""
+
+    #: attempts for transient synthesize failures (crashed AOC runs,
+    #: injected transient routing errors); each retry bumps the
+    #: placement seed, mirroring real Quartus practice
+    synth_attempts: int = 3
+    #: placement seeds swept on *deterministic* RoutingError (1 = only
+    #: seed 0, i.e. no sweep — the baseline behaviour)
+    routing_seeds: int = 1
+    #: backoff policy for runtime-level retries (DMA re-enqueue, rung
+    #: re-runs in the degradation ladder)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: virtual-time budget the ladder's watchdog enforces per run, us
+    watchdog_budget_us: float = 1e8
+    #: logits cross-check tolerance when verifying a deployment against
+    #: the CPU functional reference
+    crosscheck_atol: float = 1e-5
+
+
+_current = ResilienceConfig()
+
+
+def current_config() -> ResilienceConfig:
+    return _current
+
+
+def set_config(config: ResilienceConfig) -> None:
+    global _current
+    _current = config
+
+
+@contextmanager
+def configured(**overrides: object) -> Iterator[ResilienceConfig]:
+    """Temporarily override resilience knobs::
+
+        with configured(routing_seeds=4):
+            deploy_folded(...)
+    """
+    global _current
+    previous = _current
+    _current = dataclasses.replace(previous, **overrides)
+    try:
+        yield _current
+    finally:
+        _current = previous

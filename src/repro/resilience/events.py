@@ -1,0 +1,115 @@
+"""Structured resilience events and the process-wide event log.
+
+Every fault, retry, watchdog verdict and degradation fallback is recorded
+as a :class:`ResilienceEvent` so recovery behaviour is observable, not
+silent.  The :class:`Pipeline` attaches the events fired during each
+stage to that stage's :class:`~repro.pipeline.trace.StageRecord` (shown
+by ``python -m repro.report --trace``), and the
+:class:`~repro.flow.deploy.DegradationLadder` returns the events covering
+a whole resilient deployment.
+
+The log is an append-only sequence with integer cursors: callers take a
+cursor before an operation and ask for everything recorded ``since`` it,
+so nested consumers (a stage inside a ladder) never steal each other's
+events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ResilienceEvent", "ResilienceLog", "log", "record"]
+
+
+@dataclass
+class ResilienceEvent:
+    """One observable resilience occurrence."""
+
+    #: 'fault' | 'retry' | 'recovered' | 'giveup' | 'stall' | 'watchdog'
+    #: | 'corruption' | 'crosscheck' | 'fallback' | 'served'
+    kind: str
+    #: injection/recovery site ("synthesize", "enqueue.write", "channel",
+    #: "device", "buffer", "ladder", ...)
+    site: str
+    #: human-readable description of what happened
+    detail: str
+    #: 1-based attempt number for retry-shaped events, 0 otherwise
+    attempt: int = 0
+    #: virtual (simulated) time of the event where meaningful, microseconds
+    t_us: float = 0.0
+    #: extra structured payload (seeds tried, stall durations, ...)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "detail": self.detail,
+            "attempt": self.attempt,
+            "t_us": self.t_us,
+            "data": dict(self.data),
+        }
+
+
+class ResilienceLog:
+    """Append-only event log with stable integer cursors.
+
+    Old entries are trimmed once the log grows large; cursors remain
+    valid because they are absolute offsets, not list indices.
+    """
+
+    #: trim to half this size once exceeded (keeps long processes bounded)
+    MAX_EVENTS = 65536
+
+    def __init__(self) -> None:
+        self._events: List[ResilienceEvent] = []
+        self._base = 0  #: absolute offset of _events[0]
+
+    def record(self, event: ResilienceEvent) -> None:
+        self._events.append(event)
+        if len(self._events) > self.MAX_EVENTS:
+            drop = len(self._events) // 2
+            del self._events[:drop]
+            self._base += drop
+
+    def cursor(self) -> int:
+        """Absolute position after the most recent event."""
+        return self._base + len(self._events)
+
+    def since(self, cursor: int) -> List[ResilienceEvent]:
+        """Events recorded at or after ``cursor`` (oldest first)."""
+        start = max(0, cursor - self._base)
+        return list(self._events[start:])
+
+    def clear(self) -> None:
+        self._base += len(self._events)
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+_LOG = ResilienceLog()
+
+
+def log() -> ResilienceLog:
+    """The process-wide resilience event log."""
+    return _LOG
+
+
+def record(
+    kind: str,
+    site: str,
+    detail: str,
+    attempt: int = 0,
+    t_us: float = 0.0,
+    **data: object,
+) -> ResilienceEvent:
+    """Record one event on the process-wide log and return it."""
+    event = ResilienceEvent(
+        kind=kind, site=site, detail=detail, attempt=attempt, t_us=t_us,
+        data=data,
+    )
+    _LOG.record(event)
+    return event

@@ -1,0 +1,93 @@
+"""Resilient synthesis: transient-failure retry + placement-seed sweep.
+
+Real AOC/Quartus runs fail two ways: transiently (a crashed compile
+job — rerun it) and seed-sensitively (routing congestion depends on the
+random initial placement — rerun with ``-seed N``).  This wrapper gives
+the pipeline's ``synthesize`` stage both recoveries:
+
+* any **transient** :class:`~repro.errors.AOCError` is retried up to
+  ``synth_attempts`` times;
+* a **deterministic** :class:`~repro.errors.RoutingError` is re-run with
+  fresh placement seeds up to ``routing_seeds`` (each attempt passes a
+  new ``placement_seed`` to :func:`~repro.aoc.compiler.compile_program`,
+  which perturbs the congestion model the way a new Quartus seed
+  perturbs placement).
+
+Every attempt is recorded as a resilience event (visible in the stage
+trace), and an exhausted failure carries ``.seeds_tried`` so the compile
+cache records which seeds were attempted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aoc.compiler import Bitstream, compile_program
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.device.boards import Board
+from repro.errors import AOCError, RoutingError
+from repro.ir.kernel import Program
+from repro.resilience.config import ResilienceConfig, current_config
+from repro.resilience.events import record
+
+__all__ = ["synthesize_resilient"]
+
+
+def synthesize_resilient(
+    program: Program,
+    board: Board,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    config: Optional[ResilienceConfig] = None,
+) -> Bitstream:
+    """``compile_program`` with transient retry and placement-seed sweep.
+
+    With the default config (``routing_seeds=1``) and no active fault
+    plan this is behaviourally identical to a bare ``compile_program``
+    call: one attempt with placement seed 0.
+    """
+    cfg = config or current_config()
+    seeds_tried = []
+    attempt = 0
+    while True:
+        seed = attempt
+        try:
+            bitstream = compile_program(
+                program, board, constants, placement_seed=seed
+            )
+        except AOCError as err:
+            seeds_tried.append(seed)
+            next_attempt = attempt + 1
+            transient = getattr(err, "transient", False)
+            seed_retry = (
+                isinstance(err, RoutingError)
+                and next_attempt < cfg.routing_seeds
+            )
+            transient_retry = transient and next_attempt < cfg.synth_attempts
+            if not (seed_retry or transient_retry):
+                err.seeds_tried = tuple(seeds_tried)
+                if attempt:
+                    record(
+                        "giveup", "synthesize",
+                        f"{program.name}: {type(err).__name__} persists "
+                        f"after placement seeds {seeds_tried}",
+                        attempt=next_attempt, seeds_tried=list(seeds_tried),
+                    )
+                raise
+            record(
+                "retry", "synthesize",
+                f"{program.name}: {type(err).__name__}: {err} — "
+                f"re-synthesizing with placement seed {next_attempt}",
+                attempt=next_attempt, seed=next_attempt,
+                transient=transient,
+            )
+            attempt = next_attempt
+        else:
+            if attempt:
+                record(
+                    "recovered", "synthesize",
+                    f"{program.name} synthesized with placement seed {seed} "
+                    f"after {attempt} failed attempt(s)",
+                    attempt=attempt + 1, seed=seed,
+                    seeds_tried=list(seeds_tried),
+                )
+            return bitstream

@@ -29,10 +29,37 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.aoc.compiler import Bitstream
 from repro.device.transfer import d2h_time_us, h2d_time_us
-from repro.errors import RuntimeSimError
+from repro.errors import DeviceLostError, RuntimeSimError, TransferError
 from repro.runtime.plan import Bindings, FoldedPlan, PipelinePlan
 
 _event_ids = itertools.count()
+
+#: duration assigned to an injected hang when the fault gives no param;
+#: far beyond any watchdog budget, so hangs are always caught
+_HANG_US = 1e12
+
+
+def _probe_fault(site: str, label: str = ""):
+    """Probe the active fault plan (no-op without one).
+
+    Imported lazily so the runtime has no import-time dependency on the
+    resilience package.
+    """
+    from repro.resilience.faults import probe
+
+    return probe(site, label)
+
+
+def _check_device_lost(label: str) -> None:
+    """Raise an injected device-lost event if the fault plan says so."""
+    fault = _probe_fault("device", label)
+    if fault is not None and fault.kind == "device_lost":
+        err = DeviceLostError(
+            f"injected: device lost while running {label!r} (fault plan)"
+        )
+        err.injected = True
+        err.transient = fault.transient
+        raise err
 
 
 @dataclass
@@ -75,7 +102,13 @@ class CommandQueue:
 class SimContext:
     """The simulated host: context + device + program + host thread."""
 
-    def __init__(self, bitstream: Bitstream, profiling: bool = False) -> None:
+    def __init__(
+        self,
+        bitstream: Bitstream,
+        profiling: bool = False,
+        retry_policy: Optional[object] = None,
+        watchdog: Optional[object] = None,
+    ) -> None:
         self.bitstream = bitstream
         self.board = bitstream.board
         self.queues: List[CommandQueue] = []
@@ -84,6 +117,11 @@ class SimContext:
         self.host_us = 0.0
         #: enabling the profiler forces blocking enqueues (thesis §5.2)
         self.profiling = profiling
+        #: :class:`repro.resilience.RetryPolicy` governing re-enqueue of
+        #: failed DMA transfers (None = fail fast on the first error)
+        self.retry_policy = retry_policy
+        #: :class:`repro.resilience.Watchdog` bounding virtual time
+        self.watchdog = watchdog
 
     # -- setup -----------------------------------------------------------
     def create_queue(self) -> CommandQueue:
@@ -103,6 +141,63 @@ class SimContext:
         self.host_us += self.board.enqueue_overhead_us
         return self.host_us
 
+    def _fault_gate(self, kind: str, label: str, duration_us: float) -> float:
+        """Probe (and recover from) injected faults on one enqueue.
+
+        A ``dma`` fault fails the enqueue: without a retry policy it
+        raises :class:`TransferError` immediately; with one, each retry
+        charges its backoff delay to the host clock (virtual time, no
+        wall sleeping) and re-probes until the fault exhausts or the
+        policy gives up.  A ``hang`` fault stretches the command so the
+        watchdog's virtual-time budget catches it.
+        """
+        fault = _probe_fault(f"enqueue.{kind}", label)
+        if fault is None:
+            return duration_us
+        if fault.kind == "hang":
+            return fault.param or _HANG_US
+        if fault.kind != "dma":
+            return duration_us
+        from repro.resilience.events import record
+        from repro.resilience.faults import active_plan
+        from repro.resilience.retry import backoff_schedule
+
+        plan = active_plan()
+        attempt = 1
+        while fault is not None and fault.kind == "dma":
+            err = TransferError(
+                f"injected: DMA transfer failure on {kind} of {label!r} "
+                f"(attempt {attempt})"
+            )
+            err.injected = True
+            err.transient = fault.transient
+            policy = self.retry_policy
+            if policy is None or attempt >= policy.attempts:
+                record(
+                    "giveup", f"enqueue.{kind}",
+                    f"{label}: transfer failed with no retry budget left",
+                    attempt=attempt, t_us=self.host_us,
+                )
+                raise err
+            delay = backoff_schedule(
+                policy, seed=plan.seed if plan else 0
+            )[attempt - 1]
+            self.host_us += delay  # backoff on the virtual host clock
+            record(
+                "retry", f"enqueue.{kind}",
+                f"{label}: transfer failed, re-enqueueing after "
+                f"{delay:.0f}us backoff",
+                attempt=attempt, t_us=self.host_us, delay_us=delay,
+            )
+            attempt += 1
+            fault = _probe_fault(f"enqueue.{kind}", label)
+        record(
+            "recovered", f"enqueue.{kind}",
+            f"{label}: transfer succeeded on attempt {attempt}",
+            attempt=attempt, t_us=self.host_us,
+        )
+        return duration_us
+
     def _schedule(
         self,
         queue: CommandQueue,
@@ -112,6 +207,7 @@ class SimContext:
         wait_for: Sequence[CLEvent],
         device_launch_us: float = 0.0,
     ) -> CLEvent:
+        duration_us = self._fault_gate(kind, label, duration_us)
         queued = self._host_dispatch()
         deps = max((e.end_us for e in wait_for), default=0.0)
         start = max(queue.ready_us, deps, queued) + device_launch_us
@@ -119,6 +215,8 @@ class SimContext:
         queue.ready_us = end
         event = CLEvent(kind, label, queued, start, end)
         self.events.append(event)
+        if self.watchdog is not None:
+            self.watchdog.observe(label, end)
         if self.profiling:
             # blocking enqueue: the host waits for completion before the
             # next call (what makes profiled runs serial)
@@ -153,7 +251,19 @@ class SimContext:
         wait_for: Sequence[CLEvent] = (),
         label: Optional[str] = None,
     ) -> CLEvent:
-        """Launch one kernel invocation (``clEnqueueTask``)."""
+        """Launch one kernel invocation (``clEnqueueTask``).
+
+        The kernel name is validated against the bitstream: enqueueing a
+        kernel the design does not contain raises
+        :class:`~repro.errors.RuntimeSimError` naming the available
+        kernels (the OpenCL host error a stale host program hits).
+        """
+        if kernel_name not in self.bitstream.hw:
+            raise RuntimeSimError(
+                f"enqueue of unknown kernel {kernel_name!r}; bitstream "
+                f"{self.bitstream.program.name!r} provides: "
+                f"{', '.join(sorted(self.bitstream.hw)) or '(none)'}"
+            )
         duration = self.bitstream.kernel_time_us(kernel_name, bindings)
         return self._schedule(
             queue,
@@ -177,11 +287,55 @@ class SimContext:
         return out
 
 
+def _channel_fault(
+    plan: PipelinePlan,
+    stage_index: int,
+    ctx: SimContext,
+    watchdog: Optional[object],
+) -> float:
+    """Channel-site fault for one channel-connected stage.
+
+    A ``stall`` fault delays the consumer (back-pressure that eventually
+    drains) and returns the stall duration; a ``hang`` fault models a
+    producer that never refills the channel — diagnosed immediately as a
+    :class:`~repro.errors.DeadlockError` naming the blocked stage and
+    the starved channel.
+    """
+    stage = plan.stages[stage_index]
+    fault = _probe_fault("channel", stage.layer)
+    if fault is None:
+        return 0.0
+    producer = plan.stages[stage_index - 1] if stage_index else None
+    channel = f"ch_{producer.layer}" if producer else f"ch_{stage.layer}"
+    depth = producer.channel_depth if producer else 0
+    if fault.kind == "hang":
+        from repro.resilience.watchdog import Watchdog
+
+        wd = watchdog if isinstance(watchdog, Watchdog) else Watchdog()
+        wd.channel_stalled(
+            stage=stage.layer, channel=channel, occupancy=0, depth=depth,
+            t_us=ctx.host_us,
+        )
+        return 0.0  # unreachable: channel_stalled always raises
+    stall_us = fault.param or 500.0
+    from repro.resilience.events import record
+
+    record(
+        "stall", "channel",
+        f"{stage.layer}: channel {channel} back-pressure stalled the "
+        f"consumer for {stall_us:.0f}us",
+        t_us=ctx.host_us, stall_us=stall_us,
+    )
+    return stall_us
+
+
 def run_pipelined_event(
     bitstream: Bitstream,
     plan: PipelinePlan,
     n_images: int = 4,
     profiling: bool = False,
+    retry_policy: Optional[object] = None,
+    watchdog: Optional[object] = None,
 ) -> Dict[str, float]:
     """Execute a pipelined plan through the event engine.
 
@@ -191,9 +345,17 @@ def run_pipelined_event(
     reproduces the layer-pipeline steady state.  Autorun kernels cost no
     host dispatch: their work rides on the producing stage's event.
 
+    ``retry_policy`` re-enqueues failed DMA transfers (injected faults);
+    ``watchdog`` bounds the virtual time of every command and diagnoses
+    channel stalls that never drain.
+
     Returns {'makespan_us', 'fps', 'time_per_image_us', ...}.
     """
-    ctx = SimContext(bitstream, profiling=profiling)
+    _check_device_lost(bitstream.program.name)
+    ctx = SimContext(
+        bitstream, profiling=profiling, retry_policy=retry_policy,
+        watchdog=watchdog,
+    )
     queues = {s.kernel_name: ctx.create_queue() for s in plan.stages}
     in_buf = ctx.create_buffer("input", max(4, plan.input_bytes))
     out_buf = ctx.create_buffer("output", max(4, plan.output_bytes))
@@ -205,19 +367,25 @@ def run_pipelined_event(
 
     for _ in range(n_images):
         last = ctx.enqueue_write(write_queue, in_buf)
-        for stage in plan.stages:
+        for i, stage in enumerate(plan.stages):
             t = bitstream.kernel_time_us(stage.kernel_name)
             q = queues[stage.kernel_name]
             if stage.channel_in:
                 # streaming consumer: starts once the producer's first
                 # elements arrive, finishes no earlier than the producer's
                 # last element plus its own pipeline tail
+                stall_us = _channel_fault(plan, i, ctx, watchdog)
                 dispatch = 0.0 if stage.autorun else ctx._host_dispatch()
-                start = max(q.ready_us, last.start_us + stream_fill_us, dispatch)
-                end = max(start + t, last.end_us + stream_fill_us)
+                start = (
+                    max(q.ready_us, last.start_us + stream_fill_us, dispatch)
+                    + stall_us
+                )
+                end = max(start + t, last.end_us + stream_fill_us + stall_us)
                 q.ready_us = end
                 event = CLEvent("kernel", stage.layer, dispatch, start, end)
                 ctx.events.append(event)
+                if watchdog is not None:
+                    watchdog.observe(stage.layer, end)
                 if profiling:
                     ctx.host_us = max(ctx.host_us, end)
                 last = event
@@ -243,6 +411,8 @@ def run_folded_event(
     n_images: int = 1,
     n_queues: int = 1,
     profiling: bool = False,
+    retry_policy: Optional[object] = None,
+    watchdog: Optional[object] = None,
 ) -> Dict[str, float]:
     """Execute a folded plan through the event engine.
 
@@ -253,7 +423,11 @@ def run_folded_event(
 
     Returns {'makespan_us', 'fps', 'time_per_image_us'}.
     """
-    ctx = SimContext(bitstream, profiling=profiling)
+    _check_device_lost(bitstream.program.name)
+    ctx = SimContext(
+        bitstream, profiling=profiling, retry_policy=retry_policy,
+        watchdog=watchdog,
+    )
     queues = [ctx.create_queue() for _ in range(max(1, n_queues))]
     in_buf = ctx.create_buffer("input", max(4, plan.input_bytes))
     out_buf = ctx.create_buffer("output", max(4, plan.output_bytes))

@@ -24,6 +24,7 @@ from typing import Dict
 
 from repro.aoc.compiler import Bitstream
 from repro.device.transfer import d2h_time_us, h2d_time_us
+from repro.runtime.opencl import _check_device_lost, _probe_fault
 from repro.runtime.plan import FoldedPlan, PipelinePlan
 
 __all__ = [
@@ -68,12 +69,14 @@ def simulate_pipelined(
     ``concurrent=True`` models one queue per kernel with channel/event
     synchronization.
     """
+    _check_device_lost(bs.program.name)
     c = bs.constants
     board = bs.board
     write_us = h2d_time_us(board, plan.input_bytes)
     read_us = d2h_time_us(board, plan.output_bytes)
 
     stage_times = {s.layer: _stage_device_time(bs, s) for s in plan.stages}
+    _apply_channel_stalls(plan, stage_times)
     n_enqueued = sum(1 for s in plan.stages if not s.autorun)
     enqueue_us = n_enqueued * board.enqueue_overhead_us
     launch_us = n_enqueued * c.launch_latency_us
@@ -123,8 +126,45 @@ def simulate_pipelined(
     )
 
 
+def _apply_channel_stalls(
+    plan: PipelinePlan, stage_times: Dict[str, float]
+) -> None:
+    """Fold injected channel stalls into per-stage device times.
+
+    A ``stall`` fault adds its duration to the stalled consumer's stage
+    time (the closed-form analogue of the event engine's delayed start);
+    a ``hang`` fault is a permanent starvation, diagnosed as a deadlock.
+    """
+    for i, stage in enumerate(plan.stages):
+        if not stage.channel_in:
+            continue
+        fault = _probe_fault("channel", stage.layer)
+        if fault is None:
+            continue
+        producer = plan.stages[i - 1] if i else None
+        channel = f"ch_{producer.layer}" if producer else f"ch_{stage.layer}"
+        if fault.kind == "hang":
+            from repro.resilience.watchdog import Watchdog
+
+            Watchdog().channel_stalled(
+                stage=stage.layer, channel=channel, occupancy=0,
+                depth=producer.channel_depth if producer else 0,
+            )
+        stall_us = fault.param or 500.0
+        from repro.resilience.events import record
+
+        record(
+            "stall", "channel",
+            f"{stage.layer}: channel {channel} back-pressure stalled the "
+            f"consumer for {stall_us:.0f}us",
+            stall_us=stall_us,
+        )
+        stage_times[stage.layer] += stall_us
+
+
 def simulate_folded(bs: Bitstream, plan: FoldedPlan) -> RunResult:
     """Cost a folded deployment (MobileNet/ResNet-style, serial queue)."""
+    _check_device_lost(bs.program.name)
     c = bs.constants
     board = bs.board
     write_us = h2d_time_us(board, plan.input_bytes)

@@ -27,7 +27,10 @@ class TestAutotune:
         from repro.flow.autotune import _evaluate
         from repro.aoc import DEFAULT_CONSTANTS
 
-        start_fps = _evaluate(fused, ARRIA10, FoldedConfig(), DEFAULT_CONSTANTS)
+        start_fps, reason = _evaluate(
+            fused, ARRIA10, FoldedConfig(), DEFAULT_CONSTANTS
+        )
+        assert reason is None
         assert result.fps > 2 * start_fps
 
     def test_at_least_matches_manual_config(self, result):
