@@ -6,7 +6,10 @@ The package implements the thesis's whole system in simulation: a mini
 tensor compiler (ir/relay/schedule/topi/codegen), an Intel-AOC offline-
 compiler model (aoc), FPGA board models (device), an OpenCL host-runtime
 simulator (runtime), the end-to-end deployment flow (flow), CNN model
-definitions (models) and calibrated CPU/GPU baselines (perf).
+definitions (models), calibrated CPU/GPU baselines (perf), a staged
+compile pipeline with a content-addressed cache (pipeline), fault
+injection and recovery (resilience) and a batched multi-replica serving
+layer (serve).  docs/architecture.md maps how the packages fit together.
 
 Quickstart::
 

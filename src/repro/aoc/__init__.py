@@ -1,4 +1,12 @@
-"""The Intel-AOC offline-compiler model: analysis, resources, fmax, fit."""
+"""The Intel-AOC offline-compiler behavioural model.
+
+Dependence analysis -> initiation intervals, LSU inference (coalescing,
+replication, alignment, caches), ALUT/FF/BRAM/DSP estimation, fmax and
+routing, with ``compile_program(..., placement_seed=N)`` modelling
+Quartus seed sweeps.  Contract: identical inputs produce identical
+:class:`Bitstream` objects, and the thesis's fit/route failures
+reproduce at the same design points (``FitError``/``RoutingError``).
+"""
 
 from repro.aoc.analysis import AccessSite, KernelAnalysis, LSU
 from repro.aoc.compiler import Bitstream, HwKernel, compile_program

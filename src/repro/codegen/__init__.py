@@ -1,4 +1,10 @@
-"""OpenCL-C code generation (the .cl emission stage of the flow)."""
+"""OpenCL-C code generation (the ``.cl`` emission stage of the flow).
+
+Contract: ``generate_opencl`` turns a lowered ``ir.Program`` into the
+OpenCL-C text that the AOC model (or a real ``aoc`` invocation, see
+``examples/emit_opencl.py``) consumes; emission is deterministic given
+the program, so generated source is a stable compile-cache key.
+"""
 
 from repro.codegen.opencl import OpenCLCodegen, generate_opencl
 

@@ -1,4 +1,10 @@
-"""FPGA board descriptors and host-transfer models."""
+"""FPGA board descriptors and host-transfer models.
+
+The three thesis boards (Arria 10 GX, Stratix 10 SX, Stratix 10 MX)
+with their real resource counts, plus the Appendix-A host<->device
+transfer-rate ramp (including the MX's pathological host-write path).
+Contract: every board-specific number lives here and nowhere else.
+"""
 
 from repro.device.boards import ALL_BOARDS, ARRIA10, Board, STRATIX10_MX, STRATIX10_SX, board_by_name
 from repro.device.transfer import d2h_time_us, effective_d2h_gbs, effective_h2d_gbs, h2d_time_us

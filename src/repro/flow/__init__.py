@@ -1,4 +1,12 @@
-"""End-to-end deployment flow: model -> kernels -> bitstream -> simulation."""
+"""End-to-end deployment flow: model -> kernels -> bitstream -> simulation.
+
+The user-facing drivers ``deploy_pipelined`` / ``deploy_folded`` /
+``deploy_resilient``, the thesis tiling tables, the tiling DSE and the
+whole-network autotuner, and the degradation ladder.  Contract: a
+deploy returns a :class:`Deployment` that can be timed (``run``,
+``run_batch``), inspected (``area``, ``opencl_source``, ``trace``) and
+executed functionally (``forward``, ``classify``).
+"""
 
 from repro.flow.deploy import (
     DegradationLadder,

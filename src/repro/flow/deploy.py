@@ -40,6 +40,7 @@ from repro.runtime.opencl import run_pipelined_event
 from repro.runtime.simulate import (
     RunResult,
     per_op_profile,
+    simulate_batched,
     simulate_folded,
     simulate_pipelined,
 )
@@ -130,6 +131,16 @@ class Deployment:
         if self.mode == "pipelined":
             return simulate_pipelined(self.bitstream, self.plan, concurrent)
         return simulate_folded(self.bitstream, self.plan)
+
+    def run_batch(self, batch: int, concurrent: bool = True) -> RunResult:
+        """Simulated timing of ``batch`` images dispatched as one unit.
+
+        Transfers coalesce and host dispatch amortizes across the batch
+        (see :func:`repro.runtime.simulate.simulate_batched`); this is
+        the service-time model :mod:`repro.serve` replicas charge per
+        dispatched batch.
+        """
+        return simulate_batched(self.bitstream, self.plan, batch, concurrent)
 
     def fps(self, concurrent: bool = True) -> float:
         return self.run(concurrent).fps

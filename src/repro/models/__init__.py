@@ -1,4 +1,10 @@
-"""Benchmark network definitions: LeNet-5, MobileNetV1, ResNet-18/34."""
+"""Benchmark network definitions.
+
+LeNet-5, AlexNet, MobileNetV1 and ResNet-18/34/50 (plus BN variants)
+as graph constructors.  Contract: a model is a zero-argument function
+returning a fresh ``relay`` graph; the name registry the deployment
+flow looks models up in is ``repro.flow.stages.MODELS``.
+"""
 
 from repro.models.alexnet import alexnet
 from repro.models.lenet import lenet5

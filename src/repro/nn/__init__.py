@@ -1,4 +1,10 @@
-"""Pure-NumPy reference neural-network operators (ground-truth numerics)."""
+"""Pure-NumPy reference neural-network operators (ground-truth numerics).
+
+Conv, depthwise, dense, pooling, batchnorm, softmax and the Winograd
+transform, written as plain NumPy with no scheduling or device
+concepts.  Contract: this package is the numerical ground truth every
+generated kernel and every execution rung is cross-checked against.
+"""
 
 from repro.nn.winograd import winograd_conv2d, winograd_savings, winograd_weight_transform
 from repro.nn.functional import (

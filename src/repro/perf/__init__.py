@@ -1,4 +1,10 @@
-"""Baseline performance models and related-work reference numbers."""
+"""Baseline performance models and related-work reference numbers.
+
+Calibrated TF-CPU / TVM-no-tuning / TF-cuDNN baselines, the thesis's
+related-work comparison table, and int16/int8 quantization projections.
+Contract: published anchor numbers in, FPS curves out; also the
+CPU-rung service model the serving layer charges for shed requests.
+"""
 
 from repro.perf.baselines import (
     PAPER_ANCHORS,

@@ -1,4 +1,11 @@
-"""Graph-level IR, operator fusion and functional execution."""
+"""Graph-level IR, operator fusion and functional execution.
+
+Model graphs, the fusion pass that groups injective ops behind anchor
+ops, and the fused-graph executor.  Contract: ``fuse_operators(graph)``
+partitions nodes into one kernel group per anchor, and
+``run_fused_graph(fused, x, params)`` is the NumPy reference every
+device rung's logits are compared against.
+"""
 
 from repro.relay.graph import ANCHOR_OPS, Graph, GraphBuilder, INJECTIVE_OPS, OpNode
 from repro.relay.passes import FusedGraph, FusedNode, fuse_operators

@@ -4,6 +4,11 @@ Regenerates the headline results of every evaluation section — the LeNet
 optimization ladder, the MobileNet/ResNet folded deployments, baseline
 comparisons and fit/route failures — and renders them with ASCII charts.
 For the full per-table benches, run ``pytest benchmarks/ --benchmark-only``.
+
+Subcommands: ``--trace`` prints the per-stage compile trace of one
+deployment (optionally under a demo fault plan); ``--serve`` runs the
+batched multi-replica serving simulation and prints its metrics.  Run
+with ``--help`` for the full flag reference.
 """
 
 from __future__ import annotations
@@ -208,17 +213,137 @@ def _trace_with_faults(network, board, out: TextIO, as_json: bool) -> int:
     return 0
 
 
-def main(out: TextIO = sys.stdout) -> int:
-    args = sys.argv[1:]
+def serve_demo(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+    overload: bool = False,
+    n_requests: int = 48,
+) -> int:
+    """Run the serving simulation and print its metrics.
+
+    ``spec`` is ``NETWORK[:BOARD[:REPLICAS]]`` — e.g. ``lenet5``,
+    ``mobilenet_v1:S10SX:4``.  Board defaults to S10SX, replicas to 4.
+    The demo drives a Poisson trace at ~85% of the pool's aggregate
+    capacity; with ``overload`` the rate quadruples against a short
+    admission queue, so requests shed to the CPU rung (watch the
+    ``shed`` events under the table).
+    """
+    import json
+
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.stages import MODELS
+    from repro.serve import RequestTrace, ServeConfig, Server, provision_replicas
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        out.write(f"unknown network {network!r}; "
+                  f"choose from: {', '.join(sorted(MODELS))}\n")
+        return 2
+    try:
+        board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
+    except KeyError:
+        out.write(f"unknown board {parts[1]!r}; choose from: "
+                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
+        return 2
+    try:
+        n_replicas = int(parts[2]) if len(parts) > 2 else 4
+    except ValueError:
+        out.write(f"replica count {parts[2]!r} is not an integer\n")
+        return 2
+
+    replicas = provision_replicas(network, board, n_replicas)
+    per_image_us = replicas[0].service_us(1)
+    capacity_rps = n_replicas * 1e6 / per_image_us
+    rate = capacity_rps * (3.4 if overload else 0.85)
+    config = ServeConfig(max_queue=8 if overload else 64)
+    shape = MODELS[network]().input.out_shape
+    trace = RequestTrace.poisson(
+        network, n_requests, rate_rps=rate, shape=shape, seed=0
+    )
+    result = Server(replicas, config).run(trace)
+    if as_json:
+        payload = {
+            "spec": {"network": network, "board": board.name,
+                     "replicas": n_replicas, "overload": overload},
+            "trace": trace.describe(),
+            "metrics": result.metrics.to_dict(),
+            "events": result.events,
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+    out.write(
+        f"serving {network} on {n_replicas}x {board.name} — "
+        f"{n_requests} requests, Poisson at {rate:.1f} req/s "
+        f"(pool capacity ~{capacity_rps:.1f} req/s)"
+        + (" [overload]" if overload else "") + "\n\n"
+    )
+    out.write(result.metrics.format_table() + "\n")
+    if result.events:
+        out.write("\nserving events:\n")
+        for e in result.events:
+            out.write(f"  [{e['kind']:>10}] {e['detail']}\n")
+    return 0
+
+
+USAGE = """\
+usage: python -m repro.report [MODE] [FLAGS]
+
+modes:
+  (no flags)              full reproduction scorecard (ladder, folded
+                          deployments, baselines, fit/route failures)
+  --trace SPEC            per-stage compile trace of one deployment;
+                          SPEC = NETWORK[:MODE[:BOARD]], e.g. lenet5,
+                          mobilenet_v1:folded:A10
+  --serve SPEC            batched multi-replica serving simulation;
+                          SPEC = NETWORK[:BOARD[:REPLICAS]], e.g.
+                          mobilenet_v1:S10SX:4
+
+flags:
+  --json                  emit JSON instead of tables (--trace/--serve)
+  --faults                run --trace under the demo fault plan through
+                          the resilient degradation ladder
+  --overload              drive --serve past pool capacity against a
+                          short admission queue (requests shed to the
+                          CPU rung)
+  --requests N            request count for --serve (default 48)
+  --help                  this message
+"""
+
+
+def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
+    args = list(argv) if argv is not None else []
+    if "--help" in args or "-h" in args:
+        out.write(USAGE)
+        return 0
     if args and args[0] == "--trace":
         if len(args) < 2:
-            out.write("usage: python -m repro.report --trace "
-                      "NETWORK[:MODE[:BOARD]] [--json] [--faults]\n")
+            out.write(USAGE)
             return 2
         return trace_deployment(
             args[1], out, as_json="--json" in args[2:],
             with_faults="--faults" in args[2:],
         )
+    if args and args[0] == "--serve":
+        if len(args) < 2:
+            out.write(USAGE)
+            return 2
+        rest = args[2:]
+        n_requests = 48
+        if "--requests" in rest:
+            try:
+                n_requests = int(rest[rest.index("--requests") + 1])
+            except (IndexError, ValueError):
+                out.write(USAGE)
+                return 2
+        return serve_demo(
+            args[1], out, as_json="--json" in rest,
+            overload="--overload" in rest, n_requests=n_requests,
+        )
+    if args:
+        out.write(USAGE)
+        return 2
     out.write("Reproduction report — Chung, 'Optimization of Compiler-"
               "Generated OpenCL CNN Kernels and Runtime for FPGAs'\n")
     final = lenet_ladder(out)
@@ -235,4 +360,4 @@ def main(out: TextIO = sys.stdout) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(argv=sys.argv[1:]))

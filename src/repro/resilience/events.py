@@ -4,9 +4,12 @@ Every fault, retry, watchdog verdict and degradation fallback is recorded
 as a :class:`ResilienceEvent` so recovery behaviour is observable, not
 silent.  The :class:`Pipeline` attaches the events fired during each
 stage to that stage's :class:`~repro.pipeline.trace.StageRecord` (shown
-by ``python -m repro.report --trace``), and the
+by ``python -m repro.report --trace``), the
 :class:`~repro.flow.deploy.DegradationLadder` returns the events covering
-a whole resilient deployment.
+a whole resilient deployment, and the serving layer (:mod:`repro.serve`)
+records its overload decisions — ``shed``/``reject`` at admission,
+``fallback`` when a replica cannot build its preferred rung — under the
+``serve`` site.
 
 The log is an append-only sequence with integer cursors: callers take a
 cursor before an operation and ask for everything recorded ``since`` it,
@@ -27,10 +30,11 @@ class ResilienceEvent:
     """One observable resilience occurrence."""
 
     #: 'fault' | 'retry' | 'recovered' | 'giveup' | 'stall' | 'watchdog'
-    #: | 'corruption' | 'crosscheck' | 'fallback' | 'served'
+    #: | 'corruption' | 'crosscheck' | 'fallback' | 'served' | 'shed'
+    #: | 'reject'
     kind: str
     #: injection/recovery site ("synthesize", "enqueue.write", "channel",
-    #: "device", "buffer", "ladder", ...)
+    #: "device", "buffer", "ladder", "serve", ...)
     site: str
     #: human-readable description of what happened
     detail: str

@@ -1,4 +1,11 @@
-"""OpenCL host-runtime simulation: plans, timing, event profiling."""
+"""OpenCL host-runtime simulation: plans, timing, event profiling.
+
+Execution plans, serial/concurrent pipelined timing, folded timing,
+batched dispatch timing (``simulate_batched``), the event-level OpenCL
+host API and the functional executors.  Contract: timing is a
+deterministic closed-form or event-driven model over virtual
+microseconds — no wall clock anywhere.
+"""
 
 from repro.runtime.plan import (
     FoldedPlan,
@@ -10,6 +17,7 @@ from repro.runtime.simulate import (
     RunResult,
     event_profile,
     per_op_profile,
+    simulate_batched,
     simulate_folded,
     simulate_pipelined,
 )
@@ -27,6 +35,6 @@ __all__ = [
     "CLBuffer", "CLEvent", "CommandQueue", "FoldedPlan", "Invocation",
     "PipelinePlan", "PipelineStage", "RunResult", "SimContext",
     "event_profile", "per_op_profile", "run_folded_event", "run_pipelined_event",
-    "run_folded_functional", "run_pipelined_functional", "simulate_folded",
-    "simulate_pipelined",
+    "run_folded_functional", "run_pipelined_functional", "simulate_batched",
+    "simulate_folded", "simulate_pipelined",
 ]

@@ -1,4 +1,11 @@
-"""Schedule primitives and lowering (the reproduction's mini-TVM scheduler)."""
+"""Schedule primitives and lowering (the reproduction's mini-TVM scheduler).
+
+``split`` / ``reorder`` / ``unroll`` / ``cache_write`` /
+``writeback_at`` and friends, plus the lowering from a scheduled stage
+to nested-loop statement IR.  Contract: schedules only reorganize
+iteration — they never change kernel semantics, so every scheduled
+kernel still matches ``repro.nn`` numerically.
+"""
 
 from repro.schedule.schedule import Schedule, SplitRel, Stage, create_schedule
 from repro.schedule.lower import lower

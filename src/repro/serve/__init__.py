@@ -1,0 +1,51 @@
+"""Multi-device batched inference serving on top of the deployment flow.
+
+Package contract: given a pool of replicas (deployments on simulated
+boards, provisioned through the shared compile cache so same-network
+replicas reuse one synthesized bitstream) and a deterministic request
+trace, :class:`Server` replays the trace on a virtual clock through
+admission control, dynamic batching (:class:`DynamicBatcher`) and
+FIFO dispatch, degrading to the CPU sideline rung under overload
+instead of queueing unboundedly.  The result is reproducible
+bit-for-bit for a given (trace, config, pool): responses with logits,
+a dispatch log, resilience events (site ``serve``) and a
+:class:`ServeMetrics` summary (p50/p95/p99 latency, throughput, batch
+histogram, per-replica utilization) rendered by
+``python -m repro.report --serve``.  See docs/serving.md for the
+policy-knob and metrics-schema reference.
+"""
+
+from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.metrics import ServeMetrics, percentile, summarize
+from repro.serve.replica import (
+    LogitsCache,
+    Replica,
+    cpu_service_us,
+    provision_replicas,
+)
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResponse,
+    RequestTrace,
+    input_fingerprint,
+)
+from repro.serve.server import ServeConfig, ServeResult, Server
+
+__all__ = [
+    "Batch",
+    "DynamicBatcher",
+    "InferenceRequest",
+    "InferenceResponse",
+    "LogitsCache",
+    "Replica",
+    "RequestTrace",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeResult",
+    "Server",
+    "cpu_service_us",
+    "input_fingerprint",
+    "percentile",
+    "provision_replicas",
+    "summarize",
+]

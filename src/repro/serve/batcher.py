@@ -1,0 +1,115 @@
+"""Dynamic batching: coalesce compatible requests inside a virtual window.
+
+The batcher groups pending requests by :attr:`InferenceRequest.batch_key`
+(same network, same input shape — only those can ride one parameterized
+kernel dispatch).  A group is flushed into a :class:`Batch` when either
+
+* it reaches ``max_batch`` requests (flushed immediately), or
+* ``window_us`` of virtual time has passed since the group's *oldest*
+  waiting request arrived (flushed by the server's window timer).
+
+The batcher holds no clock of its own: the server's discrete-event loop
+drives it with explicit ``now`` arguments, which keeps every decision a
+pure function of the trace — the determinism the serving tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.request import InferenceRequest
+
+__all__ = ["Batch", "DynamicBatcher"]
+
+BatchKey = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass
+class Batch:
+    """An ordered group of compatible requests dispatched as one unit."""
+
+    batch_id: int
+    network: str
+    requests: List[InferenceRequest] = field(default_factory=list)
+    #: virtual time the batch was closed (left the batching window)
+    closed_us: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def rids(self) -> List[int]:
+        return [r.rid for r in self.requests]
+
+    def __repr__(self) -> str:
+        return (
+            f"Batch(#{self.batch_id} {self.network} x{len(self.requests)} "
+            f"closed@{self.closed_us:.0f}us)"
+        )
+
+
+class DynamicBatcher:
+    """Window-based request coalescing with a per-group size cap."""
+
+    def __init__(self, window_us: float = 2000.0, max_batch: int = 8) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window_us = float(window_us)
+        self.max_batch = int(max_batch)
+        self._groups: Dict[BatchKey, List[InferenceRequest]] = {}
+        self._next_batch_id = 0
+
+    # -- state -----------------------------------------------------------
+    def __len__(self) -> int:
+        """Requests currently waiting in open groups."""
+        return sum(len(g) for g in self._groups.values())
+
+    def pending_keys(self) -> List[BatchKey]:
+        return sorted(self._groups.keys())
+
+    def deadline(self, key: BatchKey) -> Optional[float]:
+        """When the open group for ``key`` must flush (None if empty)."""
+        group = self._groups.get(key)
+        if not group:
+            return None
+        return group[0].arrival_us + self.window_us
+
+    # -- driving ---------------------------------------------------------
+    def add(self, request: InferenceRequest, now: float) -> Optional[Batch]:
+        """Admit one request; returns a full batch when the cap is hit.
+
+        With ``max_batch == 1`` every request becomes its own batch
+        immediately — the serial, batching-free baseline.
+        """
+        key = request.batch_key
+        group = self._groups.setdefault(key, [])
+        group.append(request)
+        if len(group) >= self.max_batch:
+            return self._close(key, now)
+        return None
+
+    def flush(self, key: BatchKey, now: float) -> Optional[Batch]:
+        """Window expiry for ``key``: close whatever is waiting."""
+        if not self._groups.get(key):
+            return None
+        return self._close(key, now)
+
+    def flush_all(self, now: float) -> List[Batch]:
+        """Drain every open group (end-of-trace)."""
+        return [
+            batch
+            for key in self.pending_keys()
+            if (batch := self.flush(key, now)) is not None
+        ]
+
+    def _close(self, key: BatchKey, now: float) -> Batch:
+        requests = self._groups.pop(key)
+        batch = Batch(
+            batch_id=self._next_batch_id,
+            network=key[0],
+            requests=requests,
+            closed_us=now,
+        )
+        self._next_batch_id += 1
+        return batch

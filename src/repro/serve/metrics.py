@@ -1,0 +1,158 @@
+"""Serving metrics: latency percentiles, throughput, batch/replica stats.
+
+Every number here is derived from **virtual** time (the discrete-event
+clock the server runs on), so metrics are exactly reproducible for a
+given (trace, config, seed).  :class:`ServeMetrics` is the schema the
+``python -m repro.report --serve`` renderer and the serving benchmarks
+consume; ``to_dict()`` is the stable export format documented in
+docs/serving.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["percentile", "summarize", "ServeMetrics"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` in [0, 100].  Returns 0.0 for an empty sequence.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(len * q / 100)
+    return ordered[min(len(ordered), int(rank)) - 1]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """mean/p50/p95/p99/max of a latency-like series, microseconds."""
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+@dataclass
+class ReplicaStats:
+    """Per-replica serving counters."""
+
+    replica: int
+    board: str
+    rung: str
+    #: 'hit' | 'miss' | None — synthesize-stage cache outcome when the
+    #: replica was provisioned (bitstream-aware placement observability)
+    bitstream_cache: object
+    batches: int = 0
+    images: int = 0
+    busy_us: float = 0.0
+    #: busy_us / makespan once the run completes
+    utilization: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "replica": self.replica,
+            "board": self.board,
+            "rung": self.rung,
+            "bitstream_cache": self.bitstream_cache,
+            "batches": self.batches,
+            "images": self.images,
+            "busy_us": self.busy_us,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass
+class ServeMetrics:
+    """Aggregate outcome of one server run over one request trace."""
+
+    requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    #: virtual makespan: last completion minus first arrival, us
+    makespan_us: float = 0.0
+    #: completed requests (ok + shed) per virtual second
+    throughput_rps: float = 0.0
+    #: end-to-end latency stats over ok+shed requests, us
+    latency_us: Dict[str, float] = field(default_factory=dict)
+    #: queue-wait stats over ok requests, us
+    queue_us: Dict[str, float] = field(default_factory=dict)
+    #: device-service stats over ok requests, us
+    service_us: Dict[str, float] = field(default_factory=dict)
+    #: dispatched batch sizes
+    batches: int = 0
+    mean_batch: float = 0.0
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+    #: requests served per rung ('pipelined', 'folded', 'cpu', ...)
+    rung_counts: Dict[str, int] = field(default_factory=dict)
+    #: deepest admission queue observed (backpressure indicator)
+    peak_queue_depth: int = 0
+    per_replica: List[ReplicaStats] = field(default_factory=list)
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "makespan_us": self.makespan_us,
+            "throughput_rps": self.throughput_rps,
+            "latency_us": dict(self.latency_us),
+            "queue_us": dict(self.queue_us),
+            "service_us": dict(self.service_us),
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "batch_histogram": {str(k): v for k, v in
+                                sorted(self.batch_histogram.items())},
+            "rung_counts": dict(sorted(self.rung_counts.items())),
+            "peak_queue_depth": self.peak_queue_depth,
+            "replicas": [r.to_dict() for r in self.per_replica],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_table(self) -> str:
+        """Aligned ASCII rendering (``repro.report --serve``)."""
+        lat, q = self.latency_us, self.queue_us
+        lines = [
+            f"requests {self.requests}  completed {self.completed}  "
+            f"shed {self.shed}  rejected {self.rejected}",
+            f"makespan {self.makespan_us / 1e3:.1f} ms  "
+            f"throughput {self.throughput_rps:.1f} req/s (virtual)",
+            f"latency  p50 {lat.get('p50', 0.0) / 1e3:8.2f} ms   "
+            f"p95 {lat.get('p95', 0.0) / 1e3:8.2f} ms   "
+            f"p99 {lat.get('p99', 0.0) / 1e3:8.2f} ms",
+            f"queueing p50 {q.get('p50', 0.0) / 1e3:8.2f} ms   "
+            f"mean batch {self.mean_batch:.2f} over {self.batches} batches   "
+            f"peak queue {self.peak_queue_depth}",
+            "rungs    "
+            + "  ".join(f"{k}:{v}" for k, v in sorted(self.rung_counts.items())),
+        ]
+        if self.per_replica:
+            header = (
+                f"{'replica':>7} {'board':<6} {'rung':<10} {'bitstream':<9} "
+                f"{'batches':>7} {'images':>6} {'busy_ms':>9} {'util':>6}"
+            )
+            lines += ["", header, "-" * len(header)]
+            for r in self.per_replica:
+                cache = r.bitstream_cache or "-"
+                lines.append(
+                    f"{r.replica:>7} {r.board:<6} {r.rung:<10} {cache:<9} "
+                    f"{r.batches:>7} {r.images:>6} {r.busy_us / 1e3:>9.1f} "
+                    f"{r.utilization:>6.1%}"
+                )
+        return "\n".join(lines)

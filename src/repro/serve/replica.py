@@ -1,0 +1,188 @@
+"""Replica workers: deployments provisioned for the serving pool.
+
+A :class:`Replica` wraps one :class:`~repro.flow.deploy.Deployment` on
+its own simulated board and charges virtual service time per dispatched
+batch through the batched runtime model
+(:meth:`~repro.flow.deploy.Deployment.run_batch`).  Provisioning is
+**bitstream-aware**: every replica of a network builds through the same
+:class:`~repro.pipeline.CompileCache`, so replica 0 pays the synthesis
+and replicas 1..N-1 hit the content-addressed cache — each replica
+records its synthesize-stage cache outcome (``hit``/``miss``) from its
+compile trace.  A replica that cannot build its preferred mode degrades
+down the same ladder the resilience layer uses (pipelined → folded →
+CPU), recording ``fallback`` events on the resilience log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.device.boards import Board
+from repro.errors import ReproError
+from repro.flow.deploy import Deployment, deploy_folded, deploy_pipelined
+from repro.flow.stages import CacheOption, MODELS, resolve_cache
+from repro.perf import tf_cpu_fps
+from repro.relay import fuse_operators, init_params, run_fused_graph
+from repro.resilience.events import record as _record
+from repro.serve.request import input_fingerprint
+
+__all__ = ["Replica", "LogitsCache", "cpu_service_us", "provision_replicas"]
+
+#: CPU sideline throughput assumed when no calibrated baseline exists
+_FALLBACK_CPU_FPS = 10.0
+
+
+def cpu_service_us(network: str) -> float:
+    """Per-image service time of the CPU sideline, virtual microseconds.
+
+    Uses the calibrated Keras/TF CPU baseline where the thesis published
+    one; other networks get a conservative flat rate.
+    """
+    try:
+        fps = tf_cpu_fps(network.removesuffix("_bn"))
+    except ReproError:
+        fps = _FALLBACK_CPU_FPS
+    return 1e6 / fps
+
+
+class LogitsCache:
+    """Pool-wide functional-inference memo, keyed by input content.
+
+    Replicas of one network share parameters (``init_params(seed=0)``),
+    so their logits are identical — computing each distinct input once
+    keeps functional verification affordable at serving scale.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, network: str, x: np.ndarray, compute) -> np.ndarray:
+        key = f"{network}:{input_fingerprint(x)}"
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        y = compute(x)
+        self._store[key] = y
+        return y
+
+
+@dataclass
+class Replica:
+    """One serving worker: a deployment (or the CPU executor) on a board."""
+
+    replica_id: int
+    network: str
+    board: Board
+    #: 'pipelined' | 'folded' | 'cpu'
+    rung: str
+    deployment: Optional[Deployment] = None
+    #: synthesize-stage cache outcome at provision time ('hit'/'miss'),
+    #: None for the CPU rung
+    bitstream_cache: Optional[str] = None
+    #: virtual time until which the replica is busy
+    busy_until_us: float = 0.0
+    busy_us: float = 0.0
+    batches: int = 0
+    images: int = 0
+    _cpu_fused: object = field(default=None, repr=False)
+    _cpu_params: Optional[Dict[str, np.ndarray]] = field(default=None, repr=False)
+
+    # -- timing ----------------------------------------------------------
+    def service_us(self, batch: int) -> float:
+        """Virtual service time for one dispatched batch."""
+        if self.rung == "cpu":
+            return batch * cpu_service_us(self.network)
+        result = self.deployment.run_batch(batch)
+        return result.time_per_image_us * batch
+
+    # -- numerics --------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Functional inference on this replica's rung."""
+        if self.rung == "cpu":
+            if self._cpu_fused is None:
+                graph = MODELS[self.network]()
+                self._cpu_fused = fuse_operators(graph)
+                self._cpu_params = init_params(graph, seed=0)
+            return run_fused_graph(self._cpu_fused, x, self._cpu_params)
+        return self.deployment.forward(x)
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica(#{self.replica_id} {self.network}/{self.rung} "
+            f"on {self.board.name})"
+        )
+
+
+def provision_replicas(
+    network: str,
+    board: Board,
+    n: int,
+    cache: CacheOption = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    start_id: int = 0,
+) -> List[Replica]:
+    """Build ``n`` replicas of ``network`` on ``board``.
+
+    All builds share one compile cache, so one synthesis serves the
+    whole pool (the cache outcome lands in each replica's
+    ``bitstream_cache``).  Preferred mode is pipelined for LeNet-class
+    networks and folded otherwise; a mode that cannot build falls
+    through — ultimately to a CPU replica, which always provisions.
+    """
+    if network not in MODELS:
+        raise ReproError(
+            f"unknown network {network!r}; choose from: "
+            f"{', '.join(sorted(MODELS))}"
+        )
+    shared = resolve_cache(cache)
+    modes = ["pipelined", "folded"] if network == "lenet5" else ["folded"]
+    replicas: List[Replica] = []
+    for i in range(n):
+        rid = start_id + i
+        replica = None
+        for mode in modes:
+            try:
+                if mode == "pipelined":
+                    dep = deploy_pipelined(
+                        network, board, constants=constants,
+                        cache=shared if shared is not None else False,
+                    )
+                else:
+                    dep = deploy_folded(
+                        network, board, constants=constants,
+                        cache=shared if shared is not None else False,
+                    )
+            except ReproError as err:
+                _record(
+                    "fallback", "serve",
+                    f"replica {rid}: {mode} build of {network} on "
+                    f"{board.name} failed ({type(err).__name__}: {err}); "
+                    f"degrading",
+                )
+                continue
+            cache_status = None
+            if dep.trace is not None:
+                cache_status = dep.trace.stage("synthesize").cache
+            replica = Replica(
+                replica_id=rid, network=network, board=board, rung=mode,
+                deployment=dep, bitstream_cache=cache_status,
+            )
+            break
+        if replica is None:
+            _record(
+                "fallback", "serve",
+                f"replica {rid}: no device rung builds {network} on "
+                f"{board.name}; provisioning the CPU executor rung",
+            )
+            replica = Replica(
+                replica_id=rid, network=network, board=board, rung="cpu",
+            )
+        replicas.append(replica)
+    return replicas

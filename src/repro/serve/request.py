@@ -1,0 +1,228 @@
+"""Inference requests, responses and deterministic request traces.
+
+A :class:`RequestTrace` is the serving layer's workload description: an
+ordered list of :class:`InferenceRequest` with virtual arrival times.
+Traces are generated from an explicit seed (Poisson or uniform
+arrivals), so a (seed, trace) pair replays bit-for-bit — the property
+the serving determinism tests rely on.  The server answers every
+request with an :class:`InferenceResponse` carrying the serving rung,
+the batch it rode in, and its queueing/service/latency breakdown in
+virtual microseconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceResponse",
+    "RequestTrace",
+    "input_fingerprint",
+]
+
+
+def input_fingerprint(x: np.ndarray) -> str:
+    """Content hash of one input tensor (shared-logits cache key)."""
+    h = hashlib.sha256()
+    h.update(str(x.shape).encode())
+    h.update(np.ascontiguousarray(x, dtype=np.float32).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class InferenceRequest:
+    """One inference to serve: a network name, an input, an arrival time."""
+
+    #: dense request id; also the deterministic tie-break everywhere
+    rid: int
+    network: str
+    #: virtual arrival time, microseconds since trace start
+    arrival_us: float
+    #: input tensor (C, H, W); requests sharing an input share its logits
+    x: np.ndarray
+
+    @property
+    def batch_key(self) -> Tuple[str, Tuple[int, ...]]:
+        """Requests coalesce only within the same (network, shape) group."""
+        return (self.network, tuple(self.x.shape))
+
+
+@dataclass
+class InferenceResponse:
+    """The served outcome of one request."""
+
+    rid: int
+    network: str
+    #: 'ok' (served by a device replica), 'shed' (served by the CPU
+    #: sideline under overload) or 'rejected' (admission control)
+    status: str
+    #: rung that served: a replica rung ('pipelined'/'folded') or 'cpu'
+    rung: str = ""
+    #: replica id, -1 for shed/rejected requests
+    replica: int = -1
+    #: batch id, -1 for shed/rejected requests
+    batch_id: int = -1
+    #: size of the batch the request rode in (1 for the CPU sideline)
+    batch_size: int = 0
+    #: classification output; ``None`` when logits were not requested
+    logits: Optional[np.ndarray] = None
+    arrival_us: float = 0.0
+    #: when the request left the queue for a replica (== arrival for shed)
+    dispatch_us: float = 0.0
+    completed_us: float = 0.0
+
+    @property
+    def queue_us(self) -> float:
+        """Time spent waiting for dispatch (batching window + queueing)."""
+        return self.dispatch_us - self.arrival_us
+
+    @property
+    def service_us(self) -> float:
+        return self.completed_us - self.dispatch_us
+
+    @property
+    def latency_us(self) -> float:
+        return self.completed_us - self.arrival_us
+
+    def classify(self) -> int:
+        if self.logits is None:
+            raise ValueError(f"request {self.rid} served without logits")
+        return int(np.argmax(self.logits))
+
+
+@dataclass
+class RequestTrace:
+    """A deterministic, replayable arrival sequence."""
+
+    requests: List[InferenceRequest] = field(default_factory=list)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def duration_us(self) -> float:
+        return self.requests[-1].arrival_us if self.requests else 0.0
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def _inputs(
+        n: int, shape: Tuple[int, ...], seed: int, distinct_inputs: int
+    ) -> List[np.ndarray]:
+        """``distinct_inputs`` seeded tensors cycled over ``n`` requests.
+
+        Sharing inputs keeps functional verification cheap (the logits
+        cache computes each distinct input once) without changing any
+        timing behaviour.
+        """
+        distinct = max(1, min(distinct_inputs, n))
+        rng = np.random.default_rng(seed)
+        pool = [
+            rng.standard_normal(shape).astype(np.float32) for _ in range(distinct)
+        ]
+        return [pool[i % distinct] for i in range(n)]
+
+    @classmethod
+    def poisson(
+        cls,
+        network: str,
+        n: int,
+        rate_rps: float,
+        shape: Tuple[int, ...],
+        seed: int = 0,
+        distinct_inputs: int = 4,
+    ) -> "RequestTrace":
+        """``n`` requests with exponential inter-arrivals at ``rate_rps``
+        requests per virtual second."""
+        rng = random.Random(f"trace:poisson:{seed}")
+        xs = cls._inputs(n, shape, seed, distinct_inputs)
+        t = 0.0
+        requests = []
+        for i in range(n):
+            t += rng.expovariate(rate_rps) * 1e6
+            requests.append(
+                InferenceRequest(rid=i, network=network, arrival_us=t, x=xs[i])
+            )
+        return cls(requests=requests, seed=seed)
+
+    @classmethod
+    def uniform(
+        cls,
+        network: str,
+        n: int,
+        interval_us: float,
+        shape: Tuple[int, ...],
+        seed: int = 0,
+        distinct_inputs: int = 4,
+    ) -> "RequestTrace":
+        """``n`` requests arriving every ``interval_us`` exactly."""
+        xs = cls._inputs(n, shape, seed, distinct_inputs)
+        requests = [
+            InferenceRequest(
+                rid=i, network=network, arrival_us=i * interval_us, x=xs[i]
+            )
+            for i in range(n)
+        ]
+        return cls(requests=requests, seed=seed)
+
+    @classmethod
+    def burst(
+        cls,
+        network: str,
+        n: int,
+        at_us: float,
+        shape: Tuple[int, ...],
+        seed: int = 0,
+        distinct_inputs: int = 4,
+    ) -> "RequestTrace":
+        """``n`` requests arriving simultaneously (an overload spike)."""
+        xs = cls._inputs(n, shape, seed, distinct_inputs)
+        requests = [
+            InferenceRequest(rid=i, network=network, arrival_us=at_us, x=xs[i])
+            for i in range(n)
+        ]
+        return cls(requests=requests, seed=seed)
+
+    def merged(self, other: "RequestTrace") -> "RequestTrace":
+        """Merge two traces by arrival time; request ids are renumbered."""
+        merged = sorted(
+            list(self.requests) + list(other.requests),
+            key=lambda r: (r.arrival_us, r.network, r.rid),
+        )
+        out: List[InferenceRequest] = []
+        for i, r in enumerate(merged):
+            out.append(
+                InferenceRequest(
+                    rid=i, network=r.network, arrival_us=r.arrival_us, x=r.x
+                )
+            )
+        return RequestTrace(requests=out, seed=self.seed)
+
+    # -- replay fidelity -------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the whole trace (arrival schedule + inputs)."""
+        h = hashlib.sha256()
+        for r in self.requests:
+            h.update(
+                f"{r.rid}:{r.network}:{r.arrival_us:.6f}:".encode()
+            )
+            h.update(input_fingerprint(r.x).encode())
+        return h.hexdigest()[:16]
+
+    def describe(self) -> Dict[str, object]:
+        nets = sorted({r.network for r in self.requests})
+        return {
+            "requests": len(self.requests),
+            "networks": nets,
+            "duration_us": self.duration_us,
+            "fingerprint": self.fingerprint(),
+        }

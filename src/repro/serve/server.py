@@ -1,0 +1,361 @@
+"""The serving loop: admission control, batching, dispatch, shedding.
+
+:class:`Server` is a discrete-event simulation on a **virtual clock** —
+the serving analogue of the discrete-time runtime model.  It replays a
+:class:`~repro.serve.request.RequestTrace` through:
+
+1. **admission control** — a bounded queue; past ``max_queue`` waiting
+   requests the server stops queueing and either *sheds* the request to
+   the CPU sideline rung (the degradation-ladder response to overload)
+   or *rejects* it outright, per ``overload_policy``;
+2. **dynamic batching** — compatible requests coalesce inside a
+   ``window_us`` virtual window up to ``max_batch``
+   (:class:`~repro.serve.batcher.DynamicBatcher`);
+3. **dispatch** — closed batches go FIFO to the lowest-numbered free
+   :class:`~repro.serve.replica.Replica` serving that network, which
+   charges the batched runtime model's service time.
+
+Everything is a pure function of (trace, config, replica pool): event
+ties break on fixed priorities and sequence numbers, no wall clock or
+unseeded randomness is consulted, and shed/overload decisions are
+recorded on the process-wide resilience event log (site ``serve``) so
+``python -m repro.report --serve`` can show the overload story next to
+the metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.resilience.events import log as _resilience_log
+from repro.resilience.events import record as _record
+from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.metrics import ReplicaStats, ServeMetrics, summarize
+from repro.serve.replica import LogitsCache, Replica, cpu_service_us
+from repro.serve.request import InferenceResponse, RequestTrace
+
+__all__ = ["ServeConfig", "ServeResult", "Server"]
+
+#: same-instant event ordering: completions free replicas before window
+#: flushes close batches before new arrivals join groups
+_COMPLETE, _WINDOW, _ARRIVE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving policy knobs (see docs/serving.md for semantics)."""
+
+    #: batching window: a group flushes this long after its oldest
+    #: waiting request arrived
+    window_us: float = 2000.0
+    #: per-batch request cap; 1 disables batching entirely
+    max_batch: int = 8
+    #: admission bound on requests waiting (batcher + dispatch queue)
+    max_queue: int = 64
+    #: 'shed' serves overflow on the CPU sideline; 'reject' refuses it
+    overload_policy: str = "shed"
+    #: compute per-request logits (memoized per distinct input); turn
+    #: off for pure throughput studies
+    compute_logits: bool = True
+    #: concurrent (one-queue-per-kernel) execution on pipelined replicas
+    concurrent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.overload_policy not in ("shed", "reject"):
+            raise ReproError(
+                f"unknown overload_policy {self.overload_policy!r}; "
+                "choose 'shed' or 'reject'"
+            )
+        if self.max_batch < 1 or self.max_queue < 1:
+            raise ReproError("max_batch and max_queue must be >= 1")
+
+
+@dataclass
+class ServeResult:
+    """Everything one server run produced, in deterministic order."""
+
+    #: responses ordered by request id
+    responses: List[InferenceResponse] = field(default_factory=list)
+    metrics: ServeMetrics = field(default_factory=ServeMetrics)
+    #: dispatch log: one dict per batch, in dispatch order
+    batches: List[Dict[str, object]] = field(default_factory=list)
+    #: resilience events (site 'serve') fired during the run
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    def fingerprint(self) -> str:
+        """Content hash of batch assignments + metrics + logits.
+
+        Two runs of the same (trace, config, pool) must agree on this —
+        the serving determinism contract.  Provisioning metadata
+        (``bitstream_cache``) is excluded: whether a replica's bitstream
+        came from a warm or cold compile cache must not change serving.
+        """
+        h = hashlib.sha256()
+        for b in self.batches:
+            h.update(
+                f"{b['batch_id']}:{b['network']}:{b['replica']}:"
+                f"{b['rids']}:{b['dispatch_us']:.3f}:{b['service_us']:.3f};"
+                .encode()
+            )
+        payload = self.metrics.to_dict()
+        for row in payload["replicas"]:
+            row.pop("bitstream_cache", None)
+        h.update(json.dumps(payload).encode())
+        for r in self.responses:
+            if r.logits is not None:
+                h.update(r.logits.tobytes())
+        return h.hexdigest()[:16]
+
+
+class Server:
+    """Batched, multi-replica inference serving over a virtual clock."""
+
+    def __init__(
+        self,
+        replicas: List[Replica],
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        if not replicas:
+            raise ReproError("a server needs at least one replica")
+        self.replicas = sorted(replicas, key=lambda r: r.replica_id)
+        self.config = config or ServeConfig()
+        self.logits_cache = LogitsCache()
+        #: lazily-built CPU sideline workers, one per network
+        self._sideline: Dict[str, Replica] = {}
+        self.networks = sorted({r.network for r in self.replicas})
+
+    # -- helpers ---------------------------------------------------------
+    def _sideline_for(self, network: str) -> Replica:
+        if network not in self._sideline:
+            board = self.replicas[0].board
+            self._sideline[network] = Replica(
+                replica_id=-1, network=network, board=board, rung="cpu"
+            )
+        return self._sideline[network]
+
+    def _free_replica(self, network: str, now: float) -> Optional[Replica]:
+        for r in self.replicas:  # replica_id order = deterministic pick
+            if r.network == network and r.busy_until_us <= now:
+                return r
+        return None
+
+    def _logits(self, replica: Replica, x) -> Optional[object]:
+        if not self.config.compute_logits:
+            return None
+        return self.logits_cache.get(replica.network, x, replica.forward)
+
+    # -- the event loop --------------------------------------------------
+    def run(self, trace: RequestTrace) -> ServeResult:
+        """Replay ``trace`` to completion and summarize the run."""
+        cfg = self.config
+        unknown = sorted(
+            {r.network for r in trace} - set(self.networks)
+        )
+        if unknown:
+            raise ReproError(
+                f"trace requests networks with no replica: {unknown} "
+                f"(pool serves {self.networks})"
+            )
+        for r in self.replicas:
+            r.busy_until_us = 0.0
+            r.busy_us = 0.0
+            r.batches = 0
+            r.images = 0
+
+        cursor = _resilience_log().cursor()
+        batcher = DynamicBatcher(cfg.window_us, cfg.max_batch)
+        heap: List[Tuple[float, int, int, str, object]] = []
+        seq = 0
+
+        def push(t: float, priority: int, kind: str, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t, priority, seq, kind, payload))
+            seq += 1
+
+        for req in trace:
+            push(req.arrival_us, _ARRIVE, "arrive", req)
+
+        dispatch_queue: Deque[Batch] = deque()
+        responses: Dict[int, InferenceResponse] = {}
+        batch_log: List[Dict[str, object]] = []
+        group_gen: Dict[object, int] = {}
+        peak_queue = 0
+        shed = rejected = 0
+        first_arrival = trace.requests[0].arrival_us if len(trace) else 0.0
+        last_completion = first_arrival
+
+        def queue_depth() -> int:
+            return len(batcher) + sum(len(b) for b in dispatch_queue)
+
+        def dispatch(now: float) -> None:
+            while dispatch_queue:
+                batch = dispatch_queue[0]
+                replica = self._free_replica(batch.network, now)
+                if replica is None:
+                    return
+                dispatch_queue.popleft()
+                service = replica.service_us(len(batch))
+                replica.busy_until_us = now + service
+                replica.busy_us += service
+                replica.batches += 1
+                replica.images += len(batch)
+                batch_log.append({
+                    "batch_id": batch.batch_id,
+                    "network": batch.network,
+                    "replica": replica.replica_id,
+                    "rids": list(batch.rids),
+                    "dispatch_us": now,
+                    "service_us": service,
+                })
+                push(now + service, _COMPLETE, "complete", (batch, replica, now))
+
+        def close(batch: Optional[Batch], now: float) -> None:
+            if batch is None:
+                return
+            key = (batch.network, tuple(batch.requests[0].x.shape))
+            group_gen[key] = group_gen.get(key, 0) + 1
+            dispatch_queue.append(batch)
+            dispatch(now)
+
+        while heap:
+            now, _prio, _seq, kind, payload = heapq.heappop(heap)
+            last_completion = max(last_completion, now)
+
+            if kind == "arrive":
+                req = payload
+                depth = queue_depth()
+                if depth >= cfg.max_queue:
+                    if cfg.overload_policy == "reject":
+                        rejected += 1
+                        _record(
+                            "reject", "serve",
+                            f"request {req.rid} ({req.network}): admission "
+                            f"queue full ({depth}/{cfg.max_queue}); rejected",
+                            t_us=now,
+                        )
+                        responses[req.rid] = InferenceResponse(
+                            rid=req.rid, network=req.network,
+                            status="rejected", arrival_us=now,
+                            dispatch_us=now, completed_us=now,
+                        )
+                        continue
+                    shed += 1
+                    sideline = self._sideline_for(req.network)
+                    service = cpu_service_us(req.network)
+                    _record(
+                        "shed", "serve",
+                        f"request {req.rid} ({req.network}): admission "
+                        f"queue full ({depth}/{cfg.max_queue}); shedding "
+                        f"to the CPU rung ({service:.0f}us/image)",
+                        t_us=now, queue_depth=depth,
+                    )
+                    push(now + service, _COMPLETE, "shed-complete",
+                         (req, sideline, now))
+                    continue
+                key = req.batch_key
+                peak_queue = max(peak_queue, depth + 1)
+                was_empty = batcher.deadline(key) is None
+                full = batcher.add(req, now)
+                if full is not None:
+                    close(full, now)
+                elif was_empty:
+                    gen = group_gen.get(key, 0)
+                    push(batcher.deadline(key), _WINDOW, "window", (key, gen))
+
+            elif kind == "window":
+                key, gen = payload
+                if group_gen.get(key, 0) != gen:
+                    continue  # the group already closed on max_batch
+                close(batcher.flush(key, now), now)
+
+            elif kind == "complete":
+                batch, replica, dispatched = payload
+                for req in batch.requests:
+                    responses[req.rid] = InferenceResponse(
+                        rid=req.rid, network=req.network, status="ok",
+                        rung=replica.rung, replica=replica.replica_id,
+                        batch_id=batch.batch_id, batch_size=len(batch),
+                        logits=self._logits(replica, req.x),
+                        arrival_us=req.arrival_us, dispatch_us=dispatched,
+                        completed_us=now,
+                    )
+                dispatch(now)
+
+            else:  # shed-complete
+                req, sideline, arrived = payload
+                responses[req.rid] = InferenceResponse(
+                    rid=req.rid, network=req.network, status="shed",
+                    rung="cpu", batch_size=1,
+                    logits=self._logits(sideline, req.x),
+                    arrival_us=arrived, dispatch_us=arrived,
+                    completed_us=now,
+                )
+
+        ordered = [responses[r.rid] for r in trace]
+        metrics = self._metrics(
+            ordered, batch_log, first_arrival, last_completion,
+            peak_queue, shed, rejected,
+        )
+        events = [
+            e.to_dict()
+            for e in _resilience_log().since(cursor)
+            if e.site == "serve"
+        ]
+        return ServeResult(
+            responses=ordered, metrics=metrics, batches=batch_log,
+            events=events,
+        )
+
+    # -- summarization ---------------------------------------------------
+    def _metrics(
+        self,
+        responses: List[InferenceResponse],
+        batch_log: List[Dict[str, object]],
+        t0: float,
+        t1: float,
+        peak_queue: int,
+        shed: int,
+        rejected: int,
+    ) -> ServeMetrics:
+        served = [r for r in responses if r.status in ("ok", "shed")]
+        ok = [r for r in responses if r.status == "ok"]
+        makespan = max(0.0, t1 - t0)
+        histogram: Dict[int, int] = {}
+        for b in batch_log:
+            size = len(b["rids"])
+            histogram[size] = histogram.get(size, 0) + 1
+        rungs: Dict[str, int] = {}
+        for r in served:
+            rungs[r.rung] = rungs.get(r.rung, 0) + 1
+        n_batched = sum(len(b["rids"]) for b in batch_log)
+        stats = []
+        for rep in self.replicas:
+            stats.append(ReplicaStats(
+                replica=rep.replica_id, board=rep.board.name, rung=rep.rung,
+                bitstream_cache=rep.bitstream_cache, batches=rep.batches,
+                images=rep.images, busy_us=rep.busy_us,
+                utilization=rep.busy_us / makespan if makespan else 0.0,
+            ))
+        return ServeMetrics(
+            requests=len(responses),
+            completed=len(served),
+            shed=shed,
+            rejected=rejected,
+            makespan_us=makespan,
+            throughput_rps=len(served) / (makespan / 1e6) if makespan else 0.0,
+            latency_us=summarize([r.latency_us for r in served]),
+            queue_us=summarize([r.queue_us for r in ok]),
+            service_us=summarize([r.service_us for r in ok]),
+            batches=len(batch_log),
+            mean_batch=n_batched / len(batch_log) if batch_log else 0.0,
+            batch_histogram=histogram,
+            rung_counts=rungs,
+            peak_queue_depth=peak_queue,
+            per_replica=stats,
+        )

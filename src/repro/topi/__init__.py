@@ -1,4 +1,11 @@
-"""TVM-Operator-Inventory equivalent: compute definitions + schedules."""
+"""TVM-Operator-Inventory equivalent: compute definitions + schedules.
+
+Compute definitions and schedule recipes for conv / depthwise / dense /
+pool / pad / softmax, the ``ConvTiling`` knobs, and the symbolic
+(parameterized-shape) kernel variants of §5.3.  Contract: given an op
+spec and a tiling, return a schedulable kernel whose numerics match
+``repro.nn``.
+"""
 
 from repro.topi.common import ConvSpec, ConvTiling, DenseSpec, PoolSpec, make_activation
 from repro.topi.conv2d import (

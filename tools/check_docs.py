@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Documentation lint: links resolve, code fences parse, examples run.
+
+Checks ``README.md`` and every ``docs/*.md`` for:
+
+* **intra-repo links** — every ``[text](target)`` whose target is not
+  ``http(s)://``, ``mailto:`` or a bare ``#anchor`` must point at an
+  existing file (resolved relative to the document; anchors are
+  stripped before the existence check);
+* **python fences** — every ```` ```python ```` fence must ``ast.parse``
+  and every module-level import in it must actually resolve (modules
+  are imported, ``from x import y`` names are checked with ``getattr``),
+  so examples can't drift away from the API they document;
+* **executable examples** — a fence immediately preceded by an
+  ``<!-- check_docs: run -->`` comment is executed in a fresh namespace
+  and must complete without raising;
+* **architecture coverage** — ``docs/architecture.md`` must mention
+  every package under ``src/repro`` (every directory holding an
+  ``__init__.py``), so the map can't silently omit a subsystem.
+
+Exit status 1 when any finding is reported.  Run as
+``PYTHONPATH=src python tools/check_docs.py`` from the repository root;
+this is what the CI docs job executes.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RUN_MARKER = "<!-- check_docs: run -->"
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files() -> list:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def extract_fences(text: str):
+    """Yield (lineno, language, code, run) for every fenced code block."""
+    lines = text.splitlines()
+    i = 0
+    prev_meaningful = ""
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped.startswith("```") and stripped != "```":
+            lang = stripped.lstrip("`").strip()
+            start = i + 1
+            i += 1
+            body = []
+            while i < len(lines) and lines[i].strip() != "```":
+                body.append(lines[i])
+                i += 1
+            yield start, lang, "\n".join(body) + "\n", prev_meaningful == RUN_MARKER
+        elif stripped:
+            prev_meaningful = stripped
+        i += 1
+
+
+def check_links(path: Path, text: str) -> list:
+    findings = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            rel = target.split("#")[0]
+            if not rel:
+                continue
+            if not (path.parent / rel).exists() and not (ROOT / rel).exists():
+                findings.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: broken link "
+                    f"{target!r} (no such file)"
+                )
+    return findings
+
+
+def check_imports(path: Path, lineno: int, tree: ast.Module) -> list:
+    findings = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            targets = [(a.name, None) for a in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            targets = [(node.module, a.name) for a in node.names]
+        else:
+            continue
+        for module, attr in targets:
+            try:
+                mod = importlib.import_module(module)
+                if attr and attr != "*" and not hasattr(mod, attr):
+                    raise ImportError(f"no attribute {attr!r}")
+            except Exception as exc:
+                findings.append(
+                    f"{path.relative_to(ROOT)}:{lineno + node.lineno}: fence "
+                    f"import failed: from {module} import {attr or '...'}: {exc}"
+                )
+    return findings
+
+
+def check_fences(path: Path, text: str) -> list:
+    findings = []
+    for lineno, lang, code, run in extract_fences(text):
+        if lang != "python":
+            continue
+        label = f"{path.relative_to(ROOT)}:{lineno}"
+        try:
+            tree = ast.parse(code)
+        except SyntaxError as exc:
+            findings.append(f"{label}: fence does not parse: {exc.msg} "
+                            f"(fence line {exc.lineno})")
+            continue
+        findings.extend(check_imports(path, lineno, tree))
+        if run:
+            try:
+                exec(compile(code, str(label), "exec"), {"__name__": "__main__"})
+            except Exception:
+                tb = traceback.format_exc(limit=3).rstrip().splitlines()[-1]
+                findings.append(f"{label}: marked example failed: {tb}")
+    return findings
+
+
+def check_architecture_coverage() -> list:
+    arch = ROOT / "docs" / "architecture.md"
+    if not arch.exists():
+        return ["docs/architecture.md: missing"]
+    text = arch.read_text()
+    findings = []
+    for pkg in sorted((ROOT / "src" / "repro").iterdir()):
+        if not pkg.is_dir() or not (pkg / "__init__.py").exists():
+            continue
+        if f"repro.{pkg.name}" not in text:
+            findings.append(
+                f"docs/architecture.md: package 'repro.{pkg.name}' is not "
+                "mentioned — every src/repro package needs a contract paragraph"
+            )
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for path in doc_files():
+        text = path.read_text()
+        findings.extend(check_links(path, text))
+        findings.extend(check_fences(path, text))
+    findings.extend(check_architecture_coverage())
+    for f in findings:
+        print(f)
+    print(f"{len(findings)} finding(s) across {len(doc_files())} documents")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
