@@ -92,6 +92,20 @@ class DeadlockError(RuntimeSimError):
     """
 
 
+class VerificationError(ReproError):
+    """The static verifier found error-severity defects in a build.
+
+    Raised by the ``verify`` pipeline stage (and by
+    ``repro.verify.assert_clean``) before any synthesis time is spent.
+    Carries the full :class:`~repro.verify.VerifyReport` as ``.report``
+    so callers can render every diagnostic, not just the message.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class PipelineError(ReproError):
     """Misuse of the stage pipeline (missing artifact, duplicate stage).
 

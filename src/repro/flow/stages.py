@@ -1,8 +1,8 @@
 """Stage definitions wiring the deployment flow into :mod:`repro.pipeline`.
 
-The thesis' Figure 3.1 flow becomes seven named stages —
-``import -> fuse -> schedule -> lower -> codegen -> synthesize -> plan``
-— each producing one typed artifact:
+The thesis' Figure 3.1 flow becomes eight named stages —
+``import -> fuse -> schedule -> lower -> codegen -> verify -> synthesize
+-> plan`` — each producing one typed artifact:
 
 ========== ============ ==========================================
 stage      artifact     type
@@ -12,9 +12,16 @@ fuse       fused        :class:`repro.relay.passes.FusedGraph`
 schedule   schedule     ``PipelinedSchedule`` / ``FoldedSchedule``
 lower      program      :class:`repro.ir.Program`
 codegen    source       ``str`` (the generated ``.cl`` file)
+verify     verify       :class:`repro.verify.VerifyReport`
 synthesize bitstream    :class:`repro.aoc.compiler.Bitstream`
 plan       plan         ``PipelinePlan`` / ``FoldedPlan``
 ========== ============ ==========================================
+
+The ``verify`` stage runs the static analyzers of :mod:`repro.verify`
+(bounds, unroll races, channel protocol, OpenCL lint) over the lowered
+program, the emitted source and the execution plan, and fails the
+deploy with :class:`~repro.errors.VerificationError` on any
+error-severity finding — *before* any synthesis time is spent.
 
 The ``synthesize`` stage — by far the most expensive in a real flow —
 is content-addressed: its cache key hashes the generated OpenCL source,
@@ -50,6 +57,7 @@ from repro.pipeline import CompileCache, Context, Pipeline, Stage, default_cache
 from repro.pipeline.fingerprint import fingerprint
 from repro.relay import fuse_operators
 from repro.resilience.synth import synthesize_resilient
+from repro.verify import assert_clean, verify_build
 
 #: name -> graph constructor, the networks the flow knows how to import
 MODELS: Dict[str, Callable] = {
@@ -111,6 +119,29 @@ def _import_stage(network: str) -> Stage:
     return Stage("import", "graph", lambda ctx: MODELS[network]())
 
 
+def _verify_stage(planner: Callable[[Context], object]) -> Stage:
+    """The static-verification gate between ``codegen`` and ``synthesize``.
+
+    ``planner`` builds the execution plan from the fused graph and the
+    schedule (the same pure computation the later ``plan`` stage runs):
+    the verifier needs it for channel/plan cross-checks and for the
+    binding sets of folded kernels.  A report with any error-severity
+    diagnostic raises :class:`~repro.errors.VerificationError`, so no
+    synthesis time is ever spent on a provably broken build.
+    """
+
+    def fn(ctx: Context):
+        report = verify_build(
+            ctx.value("program"),
+            source=ctx.value("source"),
+            plan=planner(ctx),
+            subject=ctx.pipeline,
+        )
+        return assert_clean(report)
+
+    return Stage("verify", "verify", fn)
+
+
 def pipelined_flow(
     network: str,
     board: Board,
@@ -119,7 +150,7 @@ def pipelined_flow(
     cache: CacheOption = None,
     channel_depth_scale: float = 1.0,
 ) -> Pipeline:
-    """The seven-stage pipelined (LeNet-class) deployment flow."""
+    """The eight-stage pipelined (LeNet-class) deployment flow."""
     return Pipeline(
         f"pipelined:{network}:{level}:{board.name}",
         [
@@ -136,6 +167,9 @@ def pipelined_flow(
                   lambda ctx: lower_pipelined(ctx.value("schedule"))),
             Stage("codegen", "source",
                   lambda ctx: generate_opencl(ctx.value("program"))),
+            _verify_stage(
+                lambda ctx: plan_pipelined(ctx.value("fused"), ctx.value("schedule"))
+            ),
             Stage(
                 "synthesize",
                 "bitstream",
@@ -161,7 +195,7 @@ def folded_flow(
     constants: AOCConstants = DEFAULT_CONSTANTS,
     cache: CacheOption = None,
 ) -> Pipeline:
-    """The seven-stage folded (MobileNet/ResNet-class) deployment flow."""
+    """The eight-stage folded (MobileNet/ResNet-class) deployment flow."""
     return Pipeline(
         f"folded:{network}:{board.name}",
         [
@@ -176,6 +210,9 @@ def folded_flow(
                   lambda ctx: lower_folded(ctx.value("schedule"))),
             Stage("codegen", "source",
                   lambda ctx: generate_opencl(ctx.value("program"))),
+            _verify_stage(
+                lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule"))
+            ),
             Stage(
                 "synthesize",
                 "bitstream",

@@ -40,9 +40,11 @@ def eval_int(e: _e.Expr, bindings: Optional[Bindings] = None) -> Optional[int]:
         if isinstance(e, _e.Mul):
             return a * b
         if isinstance(e, _e.FloorDiv):
-            return a // b
+            # a zero divisor is not a constant-foldable expression, it is
+            # a malformed one; report "not evaluable" instead of raising
+            return None if b == 0 else a // b
         if isinstance(e, _e.Mod):
-            return a % b
+            return None if b == 0 else a % b
         if isinstance(e, _e.Min):
             return min(a, b)
         if isinstance(e, _e.Max):
@@ -80,48 +82,52 @@ def stmt_free_vars(s: _s.Stmt) -> Set[_e.Var]:
     return v.vars
 
 
-def stride_of(index: _e.Expr, var: _e.Var) -> Optional[int]:
+def stride_of(
+    index: _e.Expr, var: _e.Var, bindings: Optional[Bindings] = None
+) -> Optional[int]:
     """Coefficient of ``var`` in an affine index expression.
 
     Returns the constant stride with which ``index`` advances per unit of
     ``var``, or None when the expression is not affine in ``var`` or the
     stride is not a compile-time constant (symbolic strides).  A var that
-    does not appear at all has stride 0.
+    does not appear at all has stride 0.  ``bindings`` lets symbolic
+    coefficients (shape/stride arguments of folded kernels) fold to
+    constants.
     """
     if isinstance(index, _e.Var):
         return 1 if index is var else 0
     if isinstance(index, (_e.IntImm, _e.FloatImm)):
         return 0
     if isinstance(index, _e.Add):
-        a = stride_of(index.a, var)
-        b = stride_of(index.b, var)
+        a = stride_of(index.a, var, bindings)
+        b = stride_of(index.b, var, bindings)
         if a is None or b is None:
             return None
         return a + b
     if isinstance(index, _e.Sub):
-        a = stride_of(index.a, var)
-        b = stride_of(index.b, var)
+        a = stride_of(index.a, var, bindings)
+        b = stride_of(index.b, var, bindings)
         if a is None or b is None:
             return None
         return a - b
     if isinstance(index, _e.Mul):
-        sa = stride_of(index.a, var)
-        sb = stride_of(index.b, var)
+        sa = stride_of(index.a, var, bindings)
+        sb = stride_of(index.b, var, bindings)
         if sa is None or sb is None:
             return None
         if sa == 0 and sb == 0:
             return 0
         if sa == 0:
             # a is constant w.r.t. var; stride = const(a) * sb
-            ca = eval_int(index.a)
+            ca = eval_int(index.a, bindings)
             return None if ca is None else ca * sb
         if sb == 0:
-            cb = eval_int(index.b)
+            cb = eval_int(index.b, bindings)
             return None if cb is None else cb * sa
         return None  # quadratic in var
     if isinstance(index, (_e.FloorDiv, _e.Mod)):
-        a = stride_of(index.a, var)
-        b = stride_of(index.b, var)
+        a = stride_of(index.a, var, bindings)
+        b = stride_of(index.b, var, bindings)
         if a == 0 and b == 0:
             return 0
         return None  # non-affine in var

@@ -36,6 +36,7 @@ from repro.resilience.events import log as _resilience_log
 from repro.relay.graph import Graph
 from repro.relay.passes import FusedGraph
 from repro.runtime.plan import FoldedPlan, PipelinePlan
+from repro.verify.diagnostics import VerifyReport
 
 
 @dataclass
@@ -339,6 +340,17 @@ def _describe_bitstream(bs: Bitstream) -> Tuple[int, Dict[str, float]]:
     }
 
 
+def _describe_verify_report(r: VerifyReport) -> Tuple[int, Dict[str, float]]:
+    c = r.summary_counters()
+    return len(r.diagnostics), {
+        "errors": c["error"],
+        "warnings": c["warn"],
+        "info": c["info"],
+        "accesses_proven": c.get("accesses_proven", 0),
+        "channels_matched": c.get("channels_matched", 0),
+    }
+
+
 def _describe_pipeline_plan(p: PipelinePlan) -> Tuple[int, Dict[str, float]]:
     return len(p.stages), {
         "stages": len(p.stages),
@@ -359,6 +371,7 @@ register_describer(FusedGraph, _describe_fused)
 register_describer(Program, _describe_program)
 register_describer(str, _describe_source)
 register_describer(Bitstream, _describe_bitstream)
+register_describer(VerifyReport, _describe_verify_report)
 register_describer(PipelinePlan, _describe_pipeline_plan)
 register_describer(FoldedPlan, _describe_folded_plan)
 

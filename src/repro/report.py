@@ -7,8 +7,10 @@ For the full per-table benches, run ``pytest benchmarks/ --benchmark-only``.
 
 Subcommands: ``--trace`` prints the per-stage compile trace of one
 deployment (optionally under a demo fault plan); ``--serve`` runs the
-batched multi-replica serving simulation and prints its metrics.  Run
-with ``--help`` for the full flag reference.
+batched multi-replica serving simulation and prints its metrics;
+``--verify`` runs the static verifier (bounds, races, channel protocol,
+OpenCL lint) over one build and exits non-zero on any error-severity
+finding.  Run with ``--help`` for the full flag reference.
 """
 
 from __future__ import annotations
@@ -213,6 +215,70 @@ def _trace_with_faults(network, board, out: TextIO, as_json: bool) -> int:
     return 0
 
 
+def verify_deployment(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+) -> int:
+    """Statically verify one build and print the diagnostic report.
+
+    ``spec`` is ``NETWORK[:BOARD]`` — e.g. ``lenet5``,
+    ``resnet18:A10``.  Board defaults to S10SX; mode is pipelined for
+    lenet5 and folded otherwise.  The build stops after codegen — no
+    synthesis is attempted — so even network/board pairs that do not fit
+    (naive ResNet on the Arria 10) can still be verified.  Exit status:
+    0 when the build is verifier-clean (no error-severity findings),
+    1 otherwise, 2 on a bad spec.
+    """
+    import json
+
+    from repro.codegen import generate_opencl
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.deploy import default_folded_config
+    from repro.flow.folded import lower_folded, plan_folded, schedule_folded
+    from repro.flow.pipelined import (
+        lower_pipelined,
+        plan_pipelined,
+        schedule_pipelined,
+    )
+    from repro.flow.stages import MODELS
+    from repro.relay import fuse_operators
+    from repro.verify import verify_build
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        out.write(f"unknown network {network!r}; "
+                  f"choose from: {', '.join(sorted(MODELS))}\n")
+        return 2
+    try:
+        board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
+    except KeyError:
+        out.write(f"unknown board {parts[1]!r}; choose from: "
+                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
+        return 2
+
+    fused = fuse_operators(MODELS[network]())
+    if network == "lenet5":
+        sched = schedule_pipelined(fused, LEVELS[-1], board, 1.0)
+        program = lower_pipelined(sched)
+        plan = plan_pipelined(fused, sched)
+    else:
+        config = default_folded_config(network, board)
+        sched = schedule_folded(fused, config, board)
+        program = lower_folded(sched)
+        plan = plan_folded(fused, sched)
+    report = verify_build(
+        program, source=generate_opencl(program), plan=plan,
+        subject=f"{network}:{board.name}",
+    )
+    if as_json:
+        out.write(json.dumps(report.to_dict(), indent=2) + "\n")
+    else:
+        out.write(report.format_table() + "\n")
+    return 0 if report.clean else 1
+
+
 def serve_demo(
     spec: str,
     out: TextIO = sys.stdout,
@@ -299,9 +365,14 @@ modes:
   --serve SPEC            batched multi-replica serving simulation;
                           SPEC = NETWORK[:BOARD[:REPLICAS]], e.g.
                           mobilenet_v1:S10SX:4
+  --verify SPEC           static verification (bounds, races, channel
+                          protocol, OpenCL lint) of one build, no
+                          synthesis; SPEC = NETWORK[:BOARD], e.g.
+                          resnet18:A10; exits 1 on any error finding
 
 flags:
-  --json                  emit JSON instead of tables (--trace/--serve)
+  --json                  emit JSON instead of tables
+                          (--trace/--serve/--verify)
   --faults                run --trace under the demo fault plan through
                           the resilient degradation ladder
   --overload              drive --serve past pool capacity against a
@@ -325,6 +396,11 @@ def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
             args[1], out, as_json="--json" in args[2:],
             with_faults="--faults" in args[2:],
         )
+    if args and args[0] == "--verify":
+        if len(args) < 2:
+            out.write(USAGE)
+            return 2
+        return verify_deployment(args[1], out, as_json="--json" in args[2:])
     if args and args[0] == "--serve":
         if len(args) < 2:
             out.write(USAGE)

@@ -1,0 +1,57 @@
+"""Static verification of lowered kernels, emitted OpenCL, and plans.
+
+A bitstream takes hours to synthesize, so defects that only surface at
+runtime — an out-of-bounds store, a write race between unrolled
+replicas, a channel protocol mismatch that deadlocks the pipeline — are
+the most expensive class of bug in the FPGA flow.  This package proves
+their absence *before* synthesis, as the ``verify`` stage between
+``codegen`` and ``synthesize`` in every deployment pipeline.
+
+Four analyzer families, each with stable rule IDs:
+
+* **bounds** (``RB``) — interval analysis of every ``Load``/``Store``
+  index under symbolic shape bindings; folded kernels are verified once
+  per distinct binding set.  A *proven* violation (RB001, error) is
+  distinct from an *unprovable* access (RB002, warn).
+* **races** (``RR``) — stride-based disjointness of stores under
+  unrolled loops (reductions are recognized, not flagged) plus a
+  def-before-use pass over kernel-local buffers.
+* **channels** (``RC``) — read/write count matching, FIFO depth
+  sanity, wait-cycle (deadlock) detection, and plan/program consistency:
+  the compile-time complement of the runtime watchdog's
+  :class:`~repro.resilience.watchdog.ChannelWaitGraph`.
+* **lint** (``RL``) — checks over the emitted OpenCL text (unused
+  arguments, missing ``restrict``, barriers in divergent control,
+  undeclared channels).
+
+Entry points: :func:`verify_build` merges all analyzers into one
+:class:`VerifyReport`; :func:`assert_clean` raises
+:class:`~repro.errors.VerificationError` on any error-severity finding.
+The full rule catalog lives in ``docs/verification.md``.
+"""
+
+from repro.verify.bounds import buffer_capacity, check_bounds
+from repro.verify.channels import channel_counts, check_channels
+from repro.verify.cllint import lint_source
+from repro.verify.diagnostics import RULES, SEVERITIES, Diagnostic, VerifyReport
+from repro.verify.interval import Interval, interval_of
+from repro.verify.races import check_races
+from repro.verify.verifier import assert_clean, binding_sets_of, verify_build
+
+__all__ = [
+    "Diagnostic",
+    "Interval",
+    "RULES",
+    "SEVERITIES",
+    "VerifyReport",
+    "assert_clean",
+    "binding_sets_of",
+    "buffer_capacity",
+    "channel_counts",
+    "check_bounds",
+    "check_channels",
+    "check_races",
+    "interval_of",
+    "lint_source",
+    "verify_build",
+]

@@ -1,0 +1,139 @@
+"""Integer interval arithmetic over index expressions.
+
+The bounds checker evaluates every ``Load``/``Store`` index to a
+conservative ``[lo, hi]`` interval under an environment mapping loop
+variables to their trip ranges and symbolic shape arguments to concrete
+bindings.  The arithmetic is over-approximate: an interval that fits the
+buffer proves the access in range; an interval entirely outside the
+buffer proves a violation; anything else is *unprovable* — the verifier
+reports those separately instead of crying wolf.
+
+Supported forms mirror what the lowering emits: affine index math,
+``FloorDiv``/``Mod`` by positive constants (flatten's div/mod
+addressing), ``Min``/``Max`` clamps (padding's clamped loads) and
+``Select`` (interval union of both arms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ir import expr as _e
+
+#: variable -> known closed integer range
+Env = Dict[_e.Var, "Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer range ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        assert self.lo <= self.hi, f"empty interval [{self.lo}, {self.hi}]"
+
+    @staticmethod
+    def point(v: int) -> "Interval":
+        return Interval(v, v)
+
+    @staticmethod
+    def extent(n: int) -> "Interval":
+        """The trip range of a loop with ``n`` iterations: ``[0, n-1]``."""
+        return Interval(0, max(0, n - 1))
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        prods = (
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        )
+        return Interval(min(prods), max(prods))
+
+    def floordiv(self, other: "Interval") -> Optional["Interval"]:
+        """Division; only by a divisor interval excluding zero."""
+        if other.lo <= 0 <= other.hi:
+            return None
+        quots = (
+            self.lo // other.lo, self.lo // other.hi,
+            self.hi // other.lo, self.hi // other.hi,
+        )
+        return Interval(min(quots), max(quots))
+
+    def mod(self, other: "Interval") -> Optional["Interval"]:
+        """Modulo by a constant positive divisor."""
+        if other.lo != other.hi or other.lo <= 0:
+            return None
+        d = other.lo
+        if self.lo >= 0:
+            if self.hi - self.lo + 1 >= d:
+                return Interval(0, d - 1)
+            lo, hi = self.lo % d, self.hi % d
+            if lo <= hi:
+                return Interval(lo, hi)
+            return Interval(0, d - 1)
+        # Python % of a negative numerator is still in [0, d-1]
+        return Interval(0, d - 1)
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def min_(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def interval_of(e: _e.Expr, env: Env) -> Optional[Interval]:
+    """Conservative range of an int expression, or None when unprovable.
+
+    ``env`` maps every variable with a known range — loop variables to
+    their trip ranges, bound symbolic shapes to point intervals.  An
+    unbound variable, a float subexpression, or an unsupported operator
+    makes the result None.
+    """
+    if isinstance(e, _e.IntImm):
+        return Interval.point(e.value)
+    if isinstance(e, _e.Var):
+        return env.get(e)
+    if isinstance(e, _e.Cast):
+        return interval_of(e.value, env) if e.dtype == _e.INT32 else None
+    if isinstance(e, _e.Select):
+        a = interval_of(e.then_value, env)
+        b = interval_of(e.else_value, env)
+        if a is None or b is None:
+            return None
+        return a.union(b)
+    if isinstance(e, _e._BinaryOp):
+        a = interval_of(e.a, env)
+        b = interval_of(e.b, env)
+        if a is None or b is None:
+            return None
+        if isinstance(e, _e.Add):
+            return a + b
+        if isinstance(e, _e.Sub):
+            return a - b
+        if isinstance(e, _e.Mul):
+            return a * b
+        if isinstance(e, _e.FloorDiv):
+            return a.floordiv(b)
+        if isinstance(e, _e.Mod):
+            return a.mod(b)
+        if isinstance(e, _e.Min):
+            return a.min_(b)
+        if isinstance(e, _e.Max):
+            return a.max_(b)
+        return None
+    return None

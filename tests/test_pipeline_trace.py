@@ -17,7 +17,10 @@ from repro.pipeline import Pipeline, Stage
 from repro.relay import fuse_operators
 from repro.models import mobilenet_v1
 
-ALL_STAGES = ["import", "fuse", "schedule", "lower", "codegen", "synthesize", "plan"]
+ALL_STAGES = [
+    "import", "fuse", "schedule", "lower", "codegen", "verify",
+    "synthesize", "plan",
+]
 
 
 @pytest.fixture(scope="module")
@@ -31,7 +34,7 @@ class TestTraceStructure:
         assert lenet.trace.stage_names() == ALL_STAGES
 
     def test_all_stages_ok(self, lenet):
-        assert [r.status for r in lenet.trace.records] == ["ok"] * 7
+        assert [r.status for r in lenet.trace.records] == ["ok"] * 8
 
     def test_timestamps_monotonic(self, lenet):
         prev_end = 0.0
@@ -123,8 +126,9 @@ class TestDiagnostics:
         assert failing.stage == "synthesize"
         assert failing.status == "error"
         assert "FitError" in failing.error
-        # every stage before the failure completed
-        assert [r.status for r in diag.trace.records[:-1]] == ["ok"] * 5
+        # every stage before the failure completed (verify included: the
+        # naive build is statically sound, it just doesn't fit the board)
+        assert [r.status for r in diag.trace.records[:-1]] == ["ok"] * 6
 
     def test_missing_artifact_is_pipeline_error(self):
         p = Pipeline("broken", [Stage("s", "out", lambda ctx: ctx.value("nope"))])

@@ -143,6 +143,79 @@ class TestAnalysisProperties:
         assert ir.eval_int(e, {x: 5}) == (5 + a) * 3 - b
 
 
+class TestVerifierSoundnessProperty:
+    """The static bounds checker agrees with the interpreter.
+
+    For any legal tiling of the shipped conv/dense schedules, the
+    verifier must prove every access in range (no RB001, no RB002 —
+    these kernels are fully static), and the interpreter must execute
+    the same kernel without touching memory outside its buffers.  A
+    violation on either side means one of the two is wrong about the
+    kernel's memory behavior.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_conv_tilings_bounds_clean_and_executable(self, data):
+        from repro.verify import check_bounds, check_races
+
+        c1 = data.draw(st.sampled_from([1, 2, 3, 4]), label="c1")
+        k = data.draw(st.sampled_from([1, 2, 4]), label="k")
+        f = data.draw(st.sampled_from([1, 3]), label="f")
+        s = data.draw(st.sampled_from([1, 2]), label="s")
+        h = data.draw(st.sampled_from([7, 8, 9, 11]), label="h")
+        if h < f:
+            return
+        spec = ConvSpec(c1=c1, h=h, w=h, k=k, f=f, s=s, bias=True, activation="relu")
+        w2 = data.draw(st.sampled_from(_divisors(spec.wo)), label="w2vec")
+        cv = data.draw(st.sampled_from(_divisors(c1)), label="c1vec")
+
+        _, out = conv2d_tensors(spec, "c")
+        kern = lower(schedule_conv2d_opt(out, ConvTiling(w2vec=w2, c1vec=cv)), "k")
+
+        # static side: every access proven, nothing unprovable, no races
+        rep = check_bounds(kern)
+        check_races(kern, report=rep)
+        assert not rep.diagnostics, rep.format_table()
+        assert rep.counters["accesses_proven"] == rep.counters["accesses_checked"]
+
+        # dynamic side: the interpreter runs on exactly-sized buffers (it
+        # raises on any out-of-range flat index, so success here is the
+        # runtime witness of the static verdict)
+        bufs = {
+            "c_in": np.zeros(c1 * h * h, np.float32),
+            "c_w": np.zeros(k * c1 * f * f, np.float32),
+            "c_b": np.zeros(k, np.float32),
+            "c": np.zeros(k * spec.ho * spec.wo, np.float32),
+        }
+        ir.run_kernel(kern, bufs)
+
+    @given(
+        n=st.sampled_from([4, 8, 12, 24]),
+        m=st.integers(1, 6),
+        factor=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dense_unrolls_bounds_clean_and_executable(self, n, m, factor):
+        from repro.verify import check_bounds, check_races
+
+        if n % factor:
+            return
+        spec = DenseSpec(n=n, m=m, bias=True)
+        _, out = dense_tensors(spec, "fc")
+        kern = lower(schedule_dense_opt(out, factor), "k")
+        rep = check_bounds(kern)
+        check_races(kern, report=rep)
+        assert not rep.diagnostics, rep.format_table()
+        bufs = {
+            "fc_in": np.zeros(n, np.float32),
+            "fc_w": np.zeros(m * n, np.float32),
+            "fc_b": np.zeros(m, np.float32),
+            "fc": np.zeros(m, np.float32),
+        }
+        ir.run_kernel(kern, bufs)
+
+
 class TestAOCMonotonicity:
     @given(c1vec=st.sampled_from([1, 2, 4, 8]))
     @settings(max_examples=8, deadline=None)

@@ -1,0 +1,103 @@
+"""The verify pipeline stage and the ``repro.report --verify`` CLI."""
+
+import io
+import json
+
+import pytest
+
+import repro.ir as ir
+from repro.device.boards import ALL_BOARDS, STRATIX10_SX
+from repro.errors import VerificationError
+from repro.flow import deploy_pipelined
+from repro.flow.stages import _verify_stage
+from repro.pipeline import Pipeline
+from repro.report import main as report_main
+
+
+def _broken_program() -> ir.Program:
+    """A program with a seeded out-of-bounds store (RB001)."""
+    a = ir.Buffer("a", (8,))
+    i = ir.Var("i")
+    body = ir.For(i, 8, ir.Store(a, i + 8, 1.0))
+    return ir.Program([ir.Kernel("oob", [a], body)], name="broken")
+
+
+def _clean_program() -> ir.Program:
+    a = ir.Buffer("a", (8,))
+    i = ir.Var("i")
+    body = ir.For(i, 8, ir.Store(a, i, 1.0))
+    return ir.Program([ir.Kernel("fine", [a], body)], name="fine")
+
+
+class TestVerifyStage:
+    def test_stage_passes_clean_program(self):
+        flow = Pipeline("t", [_verify_stage(lambda ctx: None)])
+        result = flow.run(seed={"program": _clean_program(), "source": ""})
+        report = result.value("verify")
+        assert report.clean
+        rec = result.trace.stage("verify")
+        assert rec.status == "ok"
+        assert rec.counters["errors"] == 0
+        assert len(rec.fingerprint) == 64
+
+    def test_stage_fails_broken_program_before_synthesis(self):
+        flow = Pipeline("t", [_verify_stage(lambda ctx: None)])
+        with pytest.raises(VerificationError, match="RB001") as exc:
+            flow.run(seed={"program": _broken_program(), "source": ""})
+        err = exc.value
+        assert err.stage == "verify"
+        assert err.report is not None
+        assert [d.rule for d in err.report.errors] == ["RB001"]
+        failing = err.diagnostic.trace.records[-1]
+        assert failing.stage == "verify"
+        assert failing.status == "error"
+
+    def test_deploy_records_verify_counters(self):
+        d = deploy_pipelined("lenet5", STRATIX10_SX, cache=False)
+        rec = d.trace.stage("verify")
+        assert rec.status == "ok"
+        assert rec.counters["errors"] == 0
+        assert rec.counters["accesses_proven"] > 0
+        assert rec.counters["channels_matched"] > 0
+
+
+class TestReportVerifyCLI:
+    def test_clean_network_exits_zero(self):
+        out = io.StringIO()
+        assert report_main(out, ["--verify", "lenet5:S10MX"]) == 0
+        assert "clean — no findings" in out.getvalue()
+
+    def test_unfittable_board_still_verifies(self):
+        # resnet18 on the Arria 10 cannot synthesize (FitError), but
+        # --verify stops after codegen, so it must still succeed
+        out = io.StringIO()
+        assert report_main(out, ["--verify", "resnet18:A10"]) == 0
+
+    def test_json_output(self):
+        out = io.StringIO()
+        assert report_main(out, ["--verify", "mobilenet_v1", "--json"]) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["clean"] is True
+        assert payload["subject"] == "mobilenet_v1:S10SX"
+
+    def test_bad_network_exits_two(self):
+        out = io.StringIO()
+        assert report_main(out, ["--verify", "nosuch"]) == 2
+
+    def test_bad_board_exits_two(self):
+        out = io.StringIO()
+        assert report_main(out, ["--verify", "lenet5:Z99"]) == 2
+
+    def test_missing_spec_exits_two(self):
+        out = io.StringIO()
+        assert report_main(out, ["--verify"]) == 2
+
+    @pytest.mark.parametrize("network", ["lenet5", "mobilenet_v1", "resnet18"])
+    @pytest.mark.parametrize("board", [b.name for b in ALL_BOARDS])
+    def test_ci_matrix_is_verifier_clean(self, network, board):
+        # the CI verify job's exact contract: every shipped network x
+        # board build carries zero error-severity diagnostics
+        out = io.StringIO()
+        assert report_main(out, ["--verify", f"{network}:{board}"]) == 0, (
+            out.getvalue()
+        )

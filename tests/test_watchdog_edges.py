@@ -1,0 +1,147 @@
+"""ChannelWaitGraph edge cases + static/dynamic deadlock cross-check."""
+
+import pytest
+
+import repro.ir as ir
+from repro.errors import DeadlockError
+from repro.resilience.watchdog import ChannelWaitGraph
+from repro.verify import check_channels
+
+
+class TestSelfWait:
+    def test_stage_waiting_on_its_own_channel_is_a_cycle(self):
+        g = ChannelWaitGraph()
+        g.set_producer("ch", "k1")
+        g.wait("k1", "ch", occupancy=0, depth=4)
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert [w.stage for w in cycle] == ["k1"]
+        with pytest.raises(DeadlockError, match="k1 waits on ch"):
+            g.check()
+
+    def test_diagnosis_carries_occupancy(self):
+        g = ChannelWaitGraph()
+        g.set_producer("ch", "k1")
+        g.wait("k1", "ch", occupancy=3, depth=4)
+        with pytest.raises(DeadlockError, match="occupancy 3/4"):
+            g.check()
+
+
+class TestTwoNodeCycle:
+    def _cyclic(self):
+        g = ChannelWaitGraph()
+        g.set_producer("c1", "k1")
+        g.set_producer("c2", "k2")
+        g.wait("k1", "c2")  # k1 blocked on what k2 produces
+        g.wait("k2", "c1")  # k2 blocked on what k1 produces
+        return g
+
+    def test_two_node_cycle_detected(self):
+        cycle = self._cyclic().find_cycle()
+        assert cycle is not None
+        assert {w.stage for w in cycle} == {"k1", "k2"}
+
+    def test_check_raises_with_both_stages(self):
+        with pytest.raises(DeadlockError) as exc:
+            self._cyclic().check(t_us=12.0)
+        assert "k1" in str(exc.value) and "k2" in str(exc.value)
+
+    def test_one_side_resumed_breaks_cycle(self):
+        g = self._cyclic()
+        g.resume("k2")
+        assert g.find_cycle() is None
+        g.check()  # must not raise
+
+
+class TestResumeBeforeWait:
+    def test_resume_of_never_waiting_stage_is_a_noop(self):
+        g = ChannelWaitGraph()
+        g.resume("k1")  # must not raise, must not create state
+        assert g.find_cycle() is None
+        assert "k1" not in g.waits
+
+    def test_wait_after_resume_still_tracks(self):
+        g = ChannelWaitGraph()
+        g.set_producer("ch", "k1")
+        g.resume("k1")
+        g.wait("k1", "ch")
+        assert g.find_cycle() is not None
+
+    def test_rewait_overwrites_previous_wait(self):
+        g = ChannelWaitGraph()
+        g.set_producer("c1", "k2")
+        g.wait("k1", "c_old")
+        g.wait("k1", "c1")
+        assert g.waits["k1"].channel == "c1"
+
+
+class TestChainWithoutCycle:
+    def test_linear_wait_chain_is_not_deadlock(self):
+        # k3 waits on k2's channel, k2 waits on k1's, k1 is running
+        g = ChannelWaitGraph()
+        g.set_producer("c1", "k1")
+        g.set_producer("c2", "k2")
+        g.wait("k3", "c2")
+        g.wait("k2", "c1")
+        assert g.find_cycle() is None
+
+    def test_wait_on_producerless_channel_is_not_deadlock(self):
+        g = ChannelWaitGraph()
+        g.wait("k1", "host_input")
+        assert g.find_cycle() is None
+
+
+class TestStaticDynamicCrossCheck:
+    """A topology the static verifier rejects must also deadlock the
+    runtime watchdog once every stage blocks — the two analyses are the
+    compile-time and run-time views of the same property."""
+
+    def _cyclic_program(self):
+        c1, c2 = ir.Channel("c1", depth=1), ir.Channel("c2", depth=1)
+        i, j = ir.Var("i"), ir.Var("j")
+        k1 = ir.Kernel(
+            "k1", [], ir.For(i, 1, ir.ChannelWrite(c1, ir.ChannelRead(c2))),
+            autorun=True,
+        )
+        k2 = ir.Kernel(
+            "k2", [], ir.For(j, 1, ir.ChannelWrite(c2, ir.ChannelRead(c1))),
+            autorun=True,
+        )
+        return ir.Program([k1, k2])
+
+    def test_static_verifier_flags_rc003(self):
+        rep = check_channels(self._cyclic_program())
+        assert [d.rule for d in rep.errors] == ["RC003"]
+
+    def test_same_topology_deadlocks_dynamically(self):
+        program = self._cyclic_program()
+        g = ChannelWaitGraph()
+        # mirror the program's topology into the runtime graph: each
+        # kernel produces the channels it writes and blocks on its reads
+        for k in program.kernels:
+            reads, writes = k.channels()
+            for ch in writes:
+                g.set_producer(ch.name, k.name)
+        for k in program.kernels:
+            reads, _ = k.channels()
+            for ch in reads:
+                g.wait(k.name, ch.name, occupancy=0, depth=ch.depth)
+        with pytest.raises(DeadlockError, match="channel-wait cycle"):
+            g.check()
+
+    def test_acyclic_topology_passes_both(self):
+        ch = ir.Channel("ch", depth=4)
+        i, j = ir.Var("i"), ir.Var("j")
+        out = ir.Buffer("out", (4,))
+        prod = ir.Kernel(
+            "prod", [], ir.For(i, 4, ir.ChannelWrite(ch, 1.0)), autorun=True
+        )
+        cons = ir.Kernel(
+            "cons", [out], ir.For(j, 4, ir.Store(out, j, ir.ChannelRead(ch)))
+        )
+        program = ir.Program([prod, cons])
+        assert check_channels(program).clean
+        g = ChannelWaitGraph()
+        g.set_producer("ch", "prod")
+        g.wait("cons", "ch")  # producer still running: no cycle
+        g.check()

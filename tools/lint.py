@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Unified repo lint gate: imports, docstrings, verifier rule catalog.
+
+One entry point for every source-hygiene check the CI lint job runs:
+
+* ``lint_imports`` — unused/duplicate imports and import-group ordering
+  (see ``tools/lint_imports.py``);
+* ``lint_docstrings`` — module docstrings and package contracts (see
+  ``tools/lint_docstrings.py``);
+* ``rule catalog sync`` — every rule ID registered in
+  ``repro.verify.diagnostics.RULES`` must be documented in
+  ``docs/verification.md``, and every rule-shaped ID mentioned there
+  (``RB001``, ``RR003``, …) must exist in the registry.  Adding a
+  verifier rule without documenting it — or documenting a rule that was
+  removed — fails the lint.
+
+Exit status is unified: 0 when every check is clean, 1 when any check
+reports findings.  Run as ``python tools/lint.py`` from the repository
+root (the rule-catalog check imports ``repro.verify`` from ``src/``
+directly, so no ``PYTHONPATH`` is needed); this is what the CI lint job
+executes, and it stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+sys.path.insert(0, str(ROOT / "src"))
+
+import lint_docstrings  # noqa: E402
+import lint_imports  # noqa: E402
+
+RULE_ID = re.compile(r"\bR[BRCL]\d{3}\b")
+
+
+def check_rule_catalog() -> int:
+    """docs/verification.md and verify.diagnostics.RULES agree exactly."""
+    from repro.verify.diagnostics import RULES
+
+    doc_path = ROOT / "docs" / "verification.md"
+    documented = set(RULE_ID.findall(doc_path.read_text()))
+    registered = set(RULES)
+    findings = []
+    for rule in sorted(registered - documented):
+        findings.append(
+            f"{doc_path}: rule {rule} is registered in "
+            "repro.verify.diagnostics.RULES but not documented"
+        )
+    for rule in sorted(documented - registered):
+        findings.append(
+            f"{doc_path}: rule {rule} is mentioned but not registered in "
+            "repro.verify.diagnostics.RULES"
+        )
+    for f in findings:
+        print(f)
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def main() -> int:
+    status = 0
+    for title, check in [
+        ("import lint", lint_imports.main),
+        ("docstring lint", lint_docstrings.main),
+        ("verifier rule catalog", check_rule_catalog),
+    ]:
+        print(f"== {title} ==")
+        status |= check()
+    print("lint: " + ("FAIL" if status else "OK"))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
