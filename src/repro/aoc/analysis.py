@@ -69,10 +69,23 @@ class LoopNode:
     stmt: _s.For
     ii_dep: int = 1
     ii_mem: int = 1
+    #: buffer whose loop-carried dependence sets ``ii_dep`` (None if 1)
+    ii_dep_buffer: Optional[str] = None
+    #: memory scope of that buffer ("global" / "local" / "register")
+    ii_dep_scope: Optional[str] = None
+    #: buffer whose replicated LSU streams set ``ii_mem`` (None if 1)
+    ii_mem_buffer: Optional[str] = None
 
     @property
     def ii(self) -> int:
         return max(self.ii_dep, self.ii_mem)
+
+    @property
+    def bottleneck(self) -> Optional[str]:
+        """What limits this loop: 'dependence', 'memory', or None."""
+        if self.ii <= 1:
+            return None
+        return "dependence" if self.ii_dep >= self.ii_mem else "memory"
 
 
 class KernelAnalysis:
@@ -260,7 +273,10 @@ class KernelAnalysis:
                         else self.c.ii_local_accum
                     )
                     node = self.loops[id(loop)]
-                    node.ii_dep = max(node.ii_dep, ii)
+                    if ii > node.ii_dep:
+                        node.ii_dep = ii
+                        node.ii_dep_buffer = s.buffer.name
+                        node.ii_dep_scope = s.buffer.scope
                     break
 
     @staticmethod
@@ -293,8 +309,48 @@ class KernelAnalysis:
                 continue
             inner_var = site.serial[-1][0]
             for node in self.loops.values():
-                if node.stmt.loop_var is inner_var:
-                    node.ii_mem = max(node.ii_mem, stall)
+                if node.stmt.loop_var is inner_var and stall > node.ii_mem:
+                    node.ii_mem = stall
+                    node.ii_mem_buffer = lsu.buffer_name
+
+    # ------------------------------------------------------------------
+    # II attribution
+    def max_ii(self) -> int:
+        """Worst initiation interval across the kernel's loop nest."""
+        return max((n.ii for n in self.loops.values()), default=1)
+
+    def ii_attribution(self) -> List[Dict[str, object]]:
+        """Per-loop bottleneck attribution for every loop with II > 1.
+
+        Each record names the loop variable, the II, the limiting
+        mechanism (``dependence`` or ``memory``) and the buffer that
+        causes it — the facts AOC's HTML report spreads over the loop
+        analysis and LSU pages, gathered for the performance advisor.
+        Records are sorted by (descending II, loop var) so the worst
+        bottleneck is first and the order is deterministic.
+        """
+        out: List[Dict[str, object]] = []
+        for node in self.loops.values():
+            if node.ii <= 1:
+                continue
+            cause = node.bottleneck
+            out.append(
+                {
+                    "loop": node.stmt.loop_var.name,
+                    "ii": node.ii,
+                    "cause": cause,
+                    "buffer": (
+                        node.ii_dep_buffer
+                        if cause == "dependence"
+                        else node.ii_mem_buffer
+                    ),
+                    "scope": (
+                        node.ii_dep_scope if cause == "dependence" else "global"
+                    ),
+                }
+            )
+        out.sort(key=lambda r: (-int(r["ii"]), str(r["loop"])))
+        return out
 
     # ------------------------------------------------------------------
     # cost evaluators

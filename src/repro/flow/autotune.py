@@ -44,6 +44,10 @@ class TuneResult:
     failed_points: int = 0
     #: (group, tiling, reason) per rejected candidate
     failures: List[Tuple[GroupId, ConvTiling, str]] = field(default_factory=list)
+    #: candidates skipped before synthesis by a dominance/infeasibility proof
+    pruned_static: int = 0
+    #: (group, tiling, reason) per statically pruned candidate
+    pruned: List[Tuple[GroupId, ConvTiling, str]] = field(default_factory=list)
 
 
 def _group_extents(fused: FusedGraph) -> Dict[GroupId, Dict[str, List[int]]]:
@@ -98,13 +102,18 @@ def autotune_folded(
     constants: AOCConstants = DEFAULT_CONSTANTS,
     max_rounds: int = 4,
     cache: CacheOption = None,
+    prune: bool = False,
 ) -> TuneResult:
     """Greedy coordinate-ascent tiling search over all conv groups.
 
     Every candidate build goes through the staged compile pipeline;
     revisited configurations (coordinate ascent retries them often)
     replay ``synthesize`` from the compile cache, and the returned
-    :class:`TuneResult` reports the hit/miss counts.
+    :class:`TuneResult` reports the hit/miss counts.  With ``prune``,
+    a trial tiling that the dominance prover shows statically infeasible
+    or dominated by the group's *current* tiling (so it cannot beat the
+    incumbent FPS) is skipped without building — counted and listed
+    under ``pruned_static``/``pruned``.
     """
     resolved = resolve_cache(cache)
     eval_cache: CacheOption = resolved if resolved is not None else False
@@ -119,6 +128,24 @@ def autotune_folded(
     evaluations = 0
     history: List[Tuple[GroupId, ConvTiling, float]] = []
     failures: List[Tuple[GroupId, ConvTiling, str]] = []
+    pruned: List[Tuple[GroupId, ConvTiling, str]] = []
+    profiles: Dict[Tuple[GroupId, ConvTiling], object] = {}
+
+    def _profile(gid: GroupId, tiling: ConvTiling):
+        """Static profile of one group tiling (memoized; None if the
+        dominance model cannot build one — then nothing is pruned)."""
+        from repro.errors import AOCError as _AOCError
+        from repro.verify.dominance import profile_conv_tiling
+
+        key = (gid, tiling)
+        if key not in profiles:
+            try:
+                profiles[key] = profile_conv_tiling(
+                    fused, gid, tiling, constants, config.pin_unit_stride
+                )
+            except _AOCError:
+                profiles[key] = None
+        return profiles[key]
 
     best, reason = _evaluate(fused, board, config, constants, eval_cache)
     evaluations += 1
@@ -148,6 +175,13 @@ def autotune_folded(
                         c1vec=value if dim == "c1vec" else current.c1vec,
                         unroll_ff=current.unroll_ff,
                     )
+                    if prune:
+                        skip = _prune_trial(
+                            _profile, gid, current, trial, board
+                        )
+                        if skip is not None:
+                            pruned.append((gid, trial, skip))
+                            continue
                     config.conv_tilings[gid] = trial
                     fps, reason = _evaluate(
                         fused, board, config, constants, eval_cache
@@ -171,4 +205,33 @@ def autotune_folded(
         cache_hits=stats1["hits"] - stats0["hits"],
         cache_misses=stats1["misses"] - stats0["misses"],
         failed_points=len(failures), failures=failures,
+        pruned_static=len(pruned), pruned=pruned,
     )
+
+
+def _prune_trial(
+    profile, gid: GroupId, current: ConvTiling, trial: ConvTiling,
+    board: Board,
+) -> Optional[str]:
+    """Why a trial tiling needs no build (None when it must be built).
+
+    A trial dominated by the group's current tiling cannot raise the
+    design's FPS — everything outside the group is identical between
+    the two configurations — and a statically infeasible trial cannot
+    synthesize at all.
+    """
+    from repro.verify.dominance import dominates, infeasible_reason
+
+    prof_trial = profile(gid, trial)
+    if prof_trial is None:
+        return None
+    reason = infeasible_reason(prof_trial, board)
+    if reason is not None:
+        return f"infeasible: {reason}"
+    prof_cur = profile(gid, current)
+    if prof_cur is not None and dominates(prof_cur, prof_trial):
+        return (
+            f"dominated by current w2vec={current.w2vec} "
+            f"c2vec={current.c2vec} c1vec={current.c1vec}"
+        )
+    return None

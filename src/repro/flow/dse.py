@@ -22,7 +22,7 @@ hit/miss counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
@@ -36,7 +36,7 @@ from repro.topi import ConvTiling
 
 @dataclass
 class DSEPoint:
-    """One evaluated tiling configuration."""
+    """One evaluated (or statically pruned) tiling configuration."""
 
     tiling: ConvTiling
     fits: bool
@@ -45,6 +45,8 @@ class DSEPoint:
     fmax_mhz: Optional[float] = None
     dsps: Optional[int] = None
     fail_reason: Optional[str] = None
+    #: skipped before synthesis by a dominance/infeasibility proof
+    pruned: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -66,8 +68,57 @@ class SweepSummary:
     @property
     def failed_points(self) -> int:
         """Points the compiler rejected (fit, route, or any other AOC
-        failure) — evaluated but infeasible."""
+        failure) plus statically pruned ones — not feasible either way."""
         return sum(1 for p in self.points if p.fail_reason is not None)
+
+    @property
+    def pruned_static(self) -> int:
+        """Points skipped before synthesis by the dominance pruner."""
+        return sum(1 for p in self.points if p.pruned)
+
+    @property
+    def synthesized(self) -> int:
+        """Points that actually went through the compile pipeline."""
+        return sum(1 for p in self.points if not p.pruned)
+
+    def fail_reasons(self) -> Dict[str, int]:
+        """Histogram of failure classes, keys sorted.
+
+        The class is the leading ``SomeError``/``pruned`` tag of each
+        ``fail_reason``; sorted keys make sweep logs diff cleanly
+        between runs.
+        """
+        hist: Dict[str, int] = {}
+        for p in self.points:
+            if p.fail_reason is None:
+                continue
+            key = p.fail_reason.split(":", 1)[0]
+            hist[key] = hist.get(key, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic (sorted-key) summary for logs and tooling."""
+        return {
+            "points": len(self.points),
+            "feasible": sum(1 for p in self.points if p.feasible),
+            "failed": self.failed_points,
+            "pruned_static": self.pruned_static,
+            "synthesized": self.synthesized,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "fail_reasons": self.fail_reasons(),
+        }
+
+    def format(self) -> str:
+        d = self.to_dict()
+        reasons = " ".join(f"{k}={v}" for k, v in d["fail_reasons"].items())
+        return (
+            f"sweep: {d['points']} points, {d['feasible']} feasible, "
+            f"{d['synthesized']} synthesized, "
+            f"{d['pruned_static']} pruned statically, "
+            f"cache {d['cache_hits']}h/{d['cache_misses']}m"
+            + (f" [{reasons}]" if reasons else "")
+        )
 
 
 def bandwidth_roof_elems(board: Board, fmax_mhz: float) -> int:
@@ -114,9 +165,11 @@ def evaluate_tiling(
     try:
         result = flow.run(seed={"graph": fused.graph, "fused": fused})
     except FitError as e:
-        return DSEPoint(tiling, fits=False, routed=True, fail_reason=str(e))
+        return DSEPoint(tiling, fits=False, routed=True,
+                        fail_reason=f"FitError: {e}")
     except RoutingError as e:
-        return DSEPoint(tiling, fits=True, routed=False, fail_reason=str(e))
+        return DSEPoint(tiling, fits=True, routed=False,
+                        fail_reason=f"RoutingError: {e}")
     except AOCError as e:
         # any other compiler failure (crash, internal error): the point
         # is recorded as infeasible instead of aborting the whole sweep
@@ -144,36 +197,57 @@ def sweep_conv1x1(
     c1vec_options: Sequence[int] = (4, 8, 16),
     constants: AOCConstants = DEFAULT_CONSTANTS,
     cache: CacheOption = None,
+    prune: bool = False,
 ) -> SweepSummary:
     """Sweep 1x1-conv tiling space (the Table 6.6 experiment, generalized).
 
     Candidate factors violating divisibility over the network's 1x1
-    layers are skipped before synthesis, per requirement 2.  Returns the
-    evaluated points plus the compile-cache hits/misses this sweep
-    incurred.
+    layers are skipped before synthesis, per requirement 2.  With
+    ``prune`` the dominance prover of :mod:`repro.verify.dominance`
+    additionally skips candidates that are statically infeasible or
+    dominated by an earlier kept point — those appear in the summary as
+    pruned points (``pruned_static``) with the proof in ``fail_reason``,
+    and never touch the compile pipeline.  Returns the evaluated points
+    plus the compile-cache hits/misses this sweep incurred.
     """
+    from repro.flow.deploy import default_folded_config
+
     resolved = resolve_cache(cache)
     point_cache: CacheOption = resolved if resolved is not None else False
     before = resolved.stats() if resolved is not None else {"hits": 0, "misses": 0}
 
     w2_extents, c2_extents, c1_extents = _conv1x1_extents(fused)
+    tilings = [
+        ConvTiling(w2vec=w2, c2vec=c2, c1vec=c1)
+        for w2 in w2vec_options if divides_all(w2, w2_extents)
+        for c2 in c2vec_options if divides_all(c2, c2_extents)
+        for c1 in c1vec_options if divides_all(c1, c1_extents)
+    ]
+    decisions = None
+    if prune:
+        from repro.verify.dominance import plan_conv_sweep
+
+        pin = default_folded_config(fused.graph.name, board).pin_unit_stride
+        decisions = plan_conv_sweep(
+            fused, ("conv", 1, 1), tilings, board, constants, pin
+        )
+
     points: List[DSEPoint] = []
-    for w2 in w2vec_options:
-        if not divides_all(w2, w2_extents):
-            continue
-        for c2 in c2vec_options:
-            if not divides_all(c2, c2_extents):
-                continue
-            for c1 in c1vec_options:
-                if not divides_all(c1, c1_extents):
-                    continue
-                points.append(
-                    evaluate_tiling(
-                        fused, board, ("conv", 1, 1),
-                        ConvTiling(w2vec=w2, c2vec=c2, c1vec=c1),
-                        constants=constants, cache=point_cache,
-                    )
+    for i, tiling in enumerate(tilings):
+        if decisions is not None and decisions[i].pruned:
+            points.append(
+                DSEPoint(
+                    tiling, fits=False, routed=False, pruned=True,
+                    fail_reason=f"pruned: {decisions[i].reason}",
                 )
+            )
+            continue
+        points.append(
+            evaluate_tiling(
+                fused, board, ("conv", 1, 1), tiling,
+                constants=constants, cache=point_cache,
+            )
+        )
 
     after = resolved.stats() if resolved is not None else before
     return SweepSummary(
@@ -190,10 +264,12 @@ def explore_conv1x1(
     c2vec_options: Sequence[int] = (4, 8, 16, 32),
     c1vec_options: Sequence[int] = (4, 8, 16),
     constants: AOCConstants = DEFAULT_CONSTANTS,
+    prune: bool = False,
 ) -> List[DSEPoint]:
     """Points-only view of :func:`sweep_conv1x1` (original API)."""
     return sweep_conv1x1(
-        fused, board, w2vec_options, c2vec_options, c1vec_options, constants
+        fused, board, w2vec_options, c2vec_options, c1vec_options, constants,
+        prune=prune,
     ).points
 
 

@@ -119,7 +119,11 @@ def _import_stage(network: str) -> Stage:
     return Stage("import", "graph", lambda ctx: MODELS[network]())
 
 
-def _verify_stage(planner: Callable[[Context], object]) -> Stage:
+def _verify_stage(
+    planner: Callable[[Context], object],
+    board: Optional[Board] = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> Stage:
     """The static-verification gate between ``codegen`` and ``synthesize``.
 
     ``planner`` builds the execution plan from the fused graph and the
@@ -127,7 +131,10 @@ def _verify_stage(planner: Callable[[Context], object]) -> Stage:
     the verifier needs it for channel/plan cross-checks and for the
     binding sets of folded kernels.  A report with any error-severity
     diagnostic raises :class:`~repro.errors.VerificationError`, so no
-    synthesis time is ever spent on a provably broken build.
+    synthesis time is ever spent on a provably broken build.  With a
+    ``board`` the performance advisor (RP rules) runs too; its
+    advice-severity findings never fail the stage but land in the stage
+    trace as notes.
     """
 
     def fn(ctx: Context):
@@ -136,6 +143,8 @@ def _verify_stage(planner: Callable[[Context], object]) -> Stage:
             source=ctx.value("source"),
             plan=planner(ctx),
             subject=ctx.pipeline,
+            board=board,
+            constants=constants,
         )
         return assert_clean(report)
 
@@ -168,7 +177,8 @@ def pipelined_flow(
             Stage("codegen", "source",
                   lambda ctx: generate_opencl(ctx.value("program"))),
             _verify_stage(
-                lambda ctx: plan_pipelined(ctx.value("fused"), ctx.value("schedule"))
+                lambda ctx: plan_pipelined(ctx.value("fused"), ctx.value("schedule")),
+                board, constants,
             ),
             Stage(
                 "synthesize",
@@ -211,7 +221,8 @@ def folded_flow(
             Stage("codegen", "source",
                   lambda ctx: generate_opencl(ctx.value("program"))),
             _verify_stage(
-                lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule"))
+                lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule")),
+                board, constants,
             ),
             Stage(
                 "synthesize",

@@ -135,6 +135,78 @@ def stride_of(
     return 0 if var not in free_vars(index) else None
 
 
+def dependence_distance(
+    store_index: _e.Expr,
+    load_index: _e.Expr,
+    var: _e.Var,
+    bindings: Optional[Bindings] = None,
+) -> Optional[int]:
+    """Loop-carried dependence distance between a store and a load, in
+    iterations of ``var``.
+
+    The store writes ``f(var)`` and the load reads ``g(var)``; the
+    distance is the ``d`` with ``f(i) == g(i + d)`` — the number of
+    iterations after which a written value is read back.  Both indices
+    must be affine in ``var`` with the *same* stride (otherwise the pair
+    aliases at most once and carries no recurrence).  A zero-stride pair
+    with equal offsets is the accumulation pattern: distance 1, the
+    recurrence AOC pays II for (thesis Section 5.1.1).  Returns None
+    when there is no provable loop-carried dependence.
+    """
+    sf = stride_of(store_index, var, bindings)
+    sg = stride_of(load_index, var, bindings)
+    if sf is None or sg is None or sf != sg:
+        return None
+    # equal strides make f - g constant in var, so evaluate it at var=0
+    at_zero = dict(bindings or {})
+    at_zero[var] = 0
+    delta = eval_int(_e.Sub(store_index, load_index), at_zero)
+    if sf == 0:
+        return 1 if delta == 0 else None
+    if delta is None or delta % sf != 0:
+        return None
+    d = delta // sf
+    return d if d > 0 else None
+
+
+def reuse_distance(
+    index: _e.Expr,
+    loops,
+    bindings: Optional[Bindings] = None,
+) -> Optional[int]:
+    """Iteration distance between successive touches of one address.
+
+    ``loops`` is the enclosing serial loop nest as ``(var, extent)``
+    pairs, outermost first (the shape of ``AccessSite.serial``).  The
+    innermost loop whose variable does not advance the address carries
+    the temporal reuse; the distance is the product of the trip counts
+    of the loops nested *inside* it that do advance it — i.e. how many
+    distinct addresses stream past before the same one returns.  This
+    is the working-set size a cache must hold to convert the re-reads
+    into hits.  Returns None when no enclosing loop carries reuse, or
+    when a stride or extent cannot be resolved under ``bindings``.
+    """
+    carrier = None
+    for depth, (var, _extent) in enumerate(loops):
+        s = stride_of(index, var, bindings)
+        if s is None:
+            return None
+        if s == 0:
+            carrier = depth
+    if carrier is None:
+        return None
+    distance = 1
+    for var, extent in loops[carrier + 1:]:
+        if stride_of(index, var, bindings) == 0:
+            continue
+        e = extent if isinstance(extent, _e.Expr) else _e.IntImm(extent)
+        n = eval_int(e, bindings)
+        if n is None:
+            return None
+        distance *= max(1, n)
+    return distance
+
+
 def contains_reduce(e: _e.Expr) -> bool:
     """True if a Reduce node appears anywhere in the expression."""
 

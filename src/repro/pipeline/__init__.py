@@ -27,6 +27,7 @@ from repro.pipeline.pipeline import (
     Stage,
     StageDiagnostic,
     describe_artifact,
+    register_annotator,
     register_describer,
 )
 from repro.pipeline.trace import StageRecord, Trace
@@ -35,6 +36,6 @@ __all__ = [
     "Artifact", "CachedFailure", "CompileCache", "Context", "DiskBackend",
     "MemoryBackend", "Pipeline", "PipelineResult", "Stage", "StageDiagnostic",
     "StageRecord", "Trace", "canonical", "default_cache", "describe_artifact",
-    "fingerprint", "register_canonicalizer", "register_describer",
+    "fingerprint", "register_annotator", "register_canonicalizer", "register_describer",
     "set_default_cache",
 ]

@@ -160,7 +160,7 @@ class Pipeline:
                         stage=stage.name, status="seeded", t_start=t_start,
                         t_end=t_start, artifact=art.name,
                         fingerprint=art.fingerprint, size=art.size,
-                        counters=art.counters,
+                        counters=art.counters, notes=annotate_artifact(art.value),
                     )
                 )
                 last_fp = art.fingerprint
@@ -199,6 +199,7 @@ class Pipeline:
                     fingerprint=art.fingerprint, size=art.size,
                     counters=art.counters, cache=cache_status,
                     events=_stage_events(events_cursor),
+                    notes=annotate_artifact(value),
                 )
             )
         return PipelineResult(ctx, Trace(self.name, records))
@@ -280,6 +281,25 @@ def describe_artifact(value: object) -> Tuple[int, Dict[str, float]]:
         return 0, {}
 
 
+# annotators contribute human-readable trace notes per artifact type —
+# e.g. the verify report's performance-advisor findings, so
+# ``repro.report --trace`` surfaces them on the verify stage line
+
+_ANNOTATORS: List[Tuple[type, Callable[[object], List[str]]]] = []
+
+
+def register_annotator(cls: type, fn: Callable[[object], List[str]]) -> None:
+    """Register a ``value -> [note, ...]`` annotator for an artifact type."""
+    _ANNOTATORS.append((cls, fn))
+
+
+def annotate_artifact(value: object) -> List[str]:
+    for cls, fn in reversed(_ANNOTATORS):
+        if isinstance(value, cls):
+            return fn(value)
+    return []
+
+
 def _make_artifact(name: str, value: object) -> Artifact:
     size, counters = describe_artifact(value)
     return Artifact(
@@ -345,6 +365,7 @@ def _describe_verify_report(r: VerifyReport) -> Tuple[int, Dict[str, float]]:
     return len(r.diagnostics), {
         "errors": c["error"],
         "warnings": c["warn"],
+        "advice": c["advice"],
         "info": c["info"],
         "accesses_proven": c.get("accesses_proven", 0),
         "channels_matched": c.get("channels_matched", 0),
@@ -372,6 +393,7 @@ register_describer(Program, _describe_program)
 register_describer(str, _describe_source)
 register_describer(Bitstream, _describe_bitstream)
 register_describer(VerifyReport, _describe_verify_report)
+register_annotator(VerifyReport, lambda r: [d.format() for d in r.advice])
 register_describer(PipelinePlan, _describe_pipeline_plan)
 register_describer(FoldedPlan, _describe_folded_plan)
 

@@ -36,6 +36,9 @@ class StageRecord:
     #: structured resilience events (faults, retries, watchdog verdicts)
     #: fired while this stage executed, as plain dicts
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: human-readable annotations contributed by the artifact (e.g. the
+    #: verify stage's performance-advisor findings)
+    notes: List[str] = field(default_factory=list)
 
     @property
     def wall_ms(self) -> float:
@@ -81,6 +84,7 @@ class Trace:
                     "cache": r.cache,
                     "error": r.error,
                     "events": [dict(e) for e in r.events],
+                    "notes": list(r.notes),
                 }
                 for r in self.records
             ],
@@ -111,6 +115,8 @@ class Trace:
                 lines.append(f"{'':11} !! {r.error}")
             for e in r.events:
                 lines.append(f"{'':11} ~~ [{e.get('kind')}] {e.get('detail')}")
+            for note in r.notes:
+                lines.append(f"{'':11} >> {note}")
         return "\n".join(lines)
 
     def resilience_events(self) -> List[Dict[str, object]]:

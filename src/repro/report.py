@@ -10,7 +10,9 @@ deployment (optionally under a demo fault plan); ``--serve`` runs the
 batched multi-replica serving simulation and prints its metrics;
 ``--verify`` runs the static verifier (bounds, races, channel protocol,
 OpenCL lint) over one build and exits non-zero on any error-severity
-finding.  Run with ``--help`` for the full flag reference.
+finding; ``--advise`` runs the static performance advisor (RP rules)
+and the dominance-prune preview over one build — advice-only findings
+exit 0.  Run with ``--help`` for the full flag reference.
 """
 
 from __future__ import annotations
@@ -279,6 +281,102 @@ def verify_deployment(
     return 0 if report.clean else 1
 
 
+def advise_deployment(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+) -> int:
+    """Run the static performance advisor over one build.
+
+    ``spec`` is ``NETWORK[:BOARD[:LEVEL]]`` — e.g. ``mobilenet_v1:A10``
+    or ``lenet5:S10SX:base``; LEVEL selects the optimization rung for
+    pipelined networks (lenet5) and defaults to the top one, so
+    ``lenet5:S10SX:base`` advises the deliberately naive schedules.
+    The build stops after codegen (no synthesis).  The report lists
+    every RP finding with the cookbook rewrite that fixes it, plus —
+    for folded networks with a 1x1 conv group — the dominance pruner's
+    preview of how much of the default tiling sweep needs no synthesis.
+    Exit status: 0 when findings are advice-only (or absent), 1 when the
+    build also carries error-severity findings, 2 on a bad spec.
+    """
+    import json
+
+    from repro.aoc.constants import DEFAULT_CONSTANTS
+    from repro.codegen import generate_opencl
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.deploy import default_folded_config
+    from repro.flow.folded import lower_folded, plan_folded, schedule_folded
+    from repro.flow.pipelined import (
+        lower_pipelined,
+        plan_pipelined,
+        schedule_pipelined,
+    )
+    from repro.flow.stages import MODELS
+    from repro.relay import fuse_operators
+    from repro.verify import (
+        format_advice,
+        format_prune_preview,
+        prune_preview,
+        verify_build,
+    )
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        out.write(f"unknown network {network!r}; "
+                  f"choose from: {', '.join(sorted(MODELS))}\n")
+        return 2
+    try:
+        board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
+    except KeyError:
+        out.write(f"unknown board {parts[1]!r}; choose from: "
+                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
+        return 2
+    level = parts[2] if len(parts) > 2 else LEVELS[-1]
+    if level not in LEVELS:
+        out.write(f"unknown level {level!r}; "
+                  f"choose from: {', '.join(LEVELS)}\n")
+        return 2
+    if len(parts) > 2 and network != "lenet5":
+        out.write("optimization levels only apply to the pipelined "
+                  "network (lenet5)\n")
+        return 2
+
+    try:
+        fused = fuse_operators(MODELS[network]())
+        if network == "lenet5":
+            sched = schedule_pipelined(fused, level, board, 1.0)
+            program = lower_pipelined(sched)
+            plan = plan_pipelined(fused, sched)
+            preview = None
+        else:
+            config = default_folded_config(network, board)
+            sched = schedule_folded(fused, config, board)
+            program = lower_folded(sched)
+            plan = plan_folded(fused, sched)
+            preview = prune_preview(
+                fused, board, DEFAULT_CONSTANTS, config.pin_unit_stride
+            )
+        report = verify_build(
+            program, source=generate_opencl(program), plan=plan,
+            subject=f"{network}:{board.name}"
+                    + (f":{level}" if network == "lenet5" else ""),
+            board=board,
+        )
+    except ReproError as e:
+        out.write(f"{type(e).__name__}: {e}\n")
+        return 1
+    if as_json:
+        payload = report.to_dict()
+        payload["prune_preview"] = preview
+        out.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        out.write(format_advice(report) + "\n")
+        if preview is not None:
+            out.write("\n" + format_prune_preview(preview) + "\n")
+    return 0 if report.clean else 1
+
+
 def serve_demo(
     spec: str,
     out: TextIO = sys.stdout,
@@ -369,10 +467,15 @@ modes:
                           protocol, OpenCL lint) of one build, no
                           synthesis; SPEC = NETWORK[:BOARD], e.g.
                           resnet18:A10; exits 1 on any error finding
+  --advise SPEC           static performance advisor (RP rules): II
+                          bottleneck attribution, LSU/stride findings,
+                          roofline classification, dominance-prune
+                          preview; SPEC = NETWORK[:BOARD[:LEVEL]], e.g.
+                          lenet5:S10SX:base; advice-only findings exit 0
 
 flags:
   --json                  emit JSON instead of tables
-                          (--trace/--serve/--verify)
+                          (--trace/--serve/--verify/--advise)
   --faults                run --trace under the demo fault plan through
                           the resilient degradation ladder
   --overload              drive --serve past pool capacity against a
@@ -401,6 +504,11 @@ def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
             out.write(USAGE)
             return 2
         return verify_deployment(args[1], out, as_json="--json" in args[2:])
+    if args and args[0] == "--advise":
+        if len(args) < 2:
+            out.write(USAGE)
+            return 2
+        return advise_deployment(args[1], out, as_json="--json" in args[2:])
     if args and args[0] == "--serve":
         if len(args) < 2:
             out.write(USAGE)

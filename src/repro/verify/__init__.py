@@ -23,26 +23,53 @@ Four analyzer families, each with stable rule IDs:
 * **lint** (``RL``) — checks over the emitted OpenCL text (unused
   arguments, missing ``restrict``, barriers in divergent control,
   undeclared channels).
+* **performance** (``RP``) — the static advisor: II-bottleneck
+  attribution with the register-cache rewrite, replicated/non-aligned
+  LSU detection, reuse-distance vs the LSU cache, and compute- vs
+  memory-bound classification against a board's bandwidth roof.  RP
+  findings carry the ``advice`` severity and never fail a build; the
+  companion :mod:`~repro.verify.dominance` module turns the same model
+  into partial-order proofs that let the DSE skip dominated tilings
+  before synthesis.
 
 Entry points: :func:`verify_build` merges all analyzers into one
-:class:`VerifyReport`; :func:`assert_clean` raises
-:class:`~repro.errors.VerificationError` on any error-severity finding.
-The full rule catalog lives in ``docs/verification.md``.
+:class:`VerifyReport` (pass a ``board`` to include the RP advisor);
+:func:`assert_clean` raises :class:`~repro.errors.VerificationError` on
+any error-severity finding.  The full rule catalog lives in
+``docs/verification.md``.
 """
 
+from repro.verify.advisor import (
+    SUGGESTIONS,
+    format_advice,
+    format_prune_preview,
+    prune_preview,
+)
 from repro.verify.bounds import buffer_capacity, check_bounds
 from repro.verify.channels import channel_counts, check_channels
 from repro.verify.cllint import lint_source
 from repro.verify.diagnostics import RULES, SEVERITIES, Diagnostic, VerifyReport
+from repro.verify.dominance import (
+    PruneDecision,
+    StaticProfile,
+    dominates,
+    infeasible_reason,
+    plan_conv_sweep,
+    profile_conv_tiling,
+)
 from repro.verify.interval import Interval, interval_of
+from repro.verify.perf import check_perf, roof_elems
 from repro.verify.races import check_races
 from repro.verify.verifier import assert_clean, binding_sets_of, verify_build
 
 __all__ = [
     "Diagnostic",
     "Interval",
+    "PruneDecision",
     "RULES",
     "SEVERITIES",
+    "SUGGESTIONS",
+    "StaticProfile",
     "VerifyReport",
     "assert_clean",
     "binding_sets_of",
@@ -50,8 +77,17 @@ __all__ = [
     "channel_counts",
     "check_bounds",
     "check_channels",
+    "check_perf",
     "check_races",
+    "dominates",
+    "format_advice",
+    "format_prune_preview",
+    "infeasible_reason",
     "interval_of",
     "lint_source",
+    "plan_conv_sweep",
+    "profile_conv_tiling",
+    "prune_preview",
+    "roof_elems",
     "verify_build",
 ]

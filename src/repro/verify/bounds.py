@@ -27,6 +27,9 @@ from repro.ir.kernel import Kernel
 from repro.verify.diagnostics import Diagnostic, VerifyReport
 from repro.verify.interval import Env, Interval, interval_of
 
+#: rule IDs this analyzer may emit (tools/lint.py cross-checks)
+RULES = ("RB001", "RB002")
+
 Bindings = Dict[_e.Var, int]
 
 

@@ -35,6 +35,9 @@ from repro.ir.kernel import Kernel, Program
 from repro.runtime.plan import PipelinePlan
 from repro.verify.diagnostics import Diagnostic, VerifyReport
 
+#: rule IDs this analyzer may emit (tools/lint.py cross-checks)
+RULES = ("RC001", "RC002", "RC003", "RC004", "RC005", "RC006")
+
 #: channel name -> (count, provable); count is meaningful only when provable
 Counts = Dict[str, Tuple[int, bool]]
 

@@ -25,6 +25,9 @@ from typing import List, Optional, Tuple
 
 from repro.verify.diagnostics import Diagnostic, VerifyReport
 
+#: rule IDs this analyzer may emit (tools/lint.py cross-checks)
+RULES = ("RL001", "RL002", "RL003", "RL004")
+
 _CHANNEL_DECL = re.compile(r"^channel\s+\w+\s+(\w+)")
 _KERNEL_SIG = re.compile(r"kernel\s+void\s+(\w+)\s*\(([^)]*)\)")
 _CHANNEL_USE = re.compile(r"(?:read|write)_channel_intel\s*\(\s*(\w+)")

@@ -16,6 +16,11 @@ Severities:
 ``warn``
     A property the verifier could not prove (symbolic extent outside
     the binding set, non-affine index) or a likely inefficiency.
+``advice``
+    A performance finding from the RP analyzers: the build is correct
+    but a specific schedule rewrite would make it faster (register-cache
+    an accumulator, pin a stride, tile a reuse loop).  Advice never
+    fails a build.
 ``info``
     A note (e.g. an under-provisioned channel FIFO that can only cost
     performance, never correctness).
@@ -26,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-SEVERITIES = ("error", "warn", "info")
+SEVERITIES = ("error", "warn", "advice", "info")
 
 #: rule ID -> one-line description.  ``tools/lint.py`` cross-checks this
 #: registry against the catalog in ``docs/verification.md``; keep the
@@ -47,6 +52,12 @@ RULES: Dict[str, str] = {
     "RL002": "global pointer argument missing the restrict qualifier",
     "RL003": "barrier inside divergent control flow",
     "RL004": "channel used but never declared at file scope",
+    "RP001": "loop-carried dependence on a non-register accumulator sets the II (register-cache it)",
+    "RP002": "replicated non-coalescible LSU streams stall the loop in the memory arbiter",
+    "RP003": "symbolic stride defeats compile-time alignment (bandwidth efficiency drops)",
+    "RP004": "repeated reads whose reuse working set exceeds the LSU cache (tile or cache the block)",
+    "RP005": "kernel is memory-bound at the board's bandwidth roof for a binding set",
+    "RP006": "coalesced access width exceeds what external memory can feed per cycle",
 }
 
 
@@ -105,6 +116,10 @@ class VerifyReport:
     @property
     def warnings(self) -> List[Diagnostic]:
         return self.by_severity("warn")
+
+    @property
+    def advice(self) -> List[Diagnostic]:
+        return self.by_severity("advice")
 
     @property
     def clean(self) -> bool:

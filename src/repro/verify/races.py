@@ -32,6 +32,9 @@ from repro.ir.functor import StmtVisitor
 from repro.ir.kernel import Kernel
 from repro.verify.diagnostics import Diagnostic, VerifyReport
 
+#: rule IDs this analyzer may emit (tools/lint.py cross-checks)
+RULES = ("RR001", "RR002", "RR003")
+
 Bindings = Dict[_e.Var, int]
 
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
+from repro.device.boards import Board
 from repro.errors import VerificationError
 from repro.ir.kernel import Program
 from repro.runtime.plan import Bindings, FoldedPlan, PipelinePlan
@@ -29,6 +31,7 @@ from repro.verify.bounds import check_bounds
 from repro.verify.channels import check_channels
 from repro.verify.cllint import lint_source
 from repro.verify.diagnostics import RULES, VerifyReport
+from repro.verify.perf import check_perf
 from repro.verify.races import check_races
 
 Plan = Union[PipelinePlan, FoldedPlan]
@@ -61,6 +64,8 @@ def verify_build(
     plan: Optional[Plan] = None,
     subject: str = "",
     suppress: Iterable[str] = (),
+    board: Optional[Board] = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
 ) -> VerifyReport:
     """Statically verify one build: bounds, races, channels, source lint.
 
@@ -68,7 +73,11 @@ def verify_build(
     sets the bounds checker needs for symbolic kernels, a
     :class:`PipelinePlan` is cross-checked against the program's channel
     topology.  ``suppress`` drops findings by rule ID (unknown IDs are
-    rejected) and counts them under the ``suppressed`` counter.
+    rejected) and counts them under the ``suppressed`` counter.  With a
+    ``board`` the performance advisor (RP rules) also runs, classifying
+    each kernel against that board's bandwidth roof and emitting
+    advice-severity findings; without one, only the correctness families
+    run.
     """
     suppress = frozenset(suppress)
     unknown = suppress - frozenset(RULES)
@@ -80,6 +89,9 @@ def verify_build(
     for kernel in program.kernels:
         check_bounds(kernel, bindings.get(kernel.name), report)
         check_races(kernel, bindings.get(kernel.name), report)
+        if board is not None:
+            check_perf(kernel, bindings.get(kernel.name), report, board,
+                       constants)
     check_channels(
         program, plan if isinstance(plan, PipelinePlan) else None, report
     )

@@ -1,0 +1,128 @@
+"""Edge cases of the interval arithmetic behind the bounds checker.
+
+The widening rules of `repro.verify.interval` have corners the main
+bounds suite never exercises: negative strides (intervals with hi < 0),
+zero-extent loops (trip range must stay the empty-safe ``[0, 0]`` and
+demote findings to unprovable), and division/modulo by a divisor that
+may be zero — which must poison the result, never raise.
+"""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir import expr as _e
+from repro.ir.analysis import dependence_distance, eval_int, reuse_distance, stride_of
+from repro.verify import check_bounds
+from repro.verify.interval import Interval, interval_of
+
+
+class TestIntervalNegativeStrides:
+    def test_mul_by_negative_flips_bounds(self):
+        assert Interval(0, 7) * Interval.point(-3) == Interval(-21, 0)
+
+    def test_mul_mixed_sign_operands(self):
+        assert Interval(-2, 3) * Interval(-5, 4) == Interval(-15, 12)
+
+    def test_sub_reverses_operand_order(self):
+        assert Interval(0, 7) - Interval(2, 5) == Interval(-5, 5)
+
+    def test_floordiv_by_negative_divisor(self):
+        # [0,7] // -2 in Python floor semantics: 7//-2 == -4
+        assert Interval(0, 7).floordiv(Interval.point(-2)) == Interval(-4, 0)
+
+    def test_floordiv_by_interval_spanning_zero_is_unprovable(self):
+        assert Interval(0, 7).floordiv(Interval(-1, 1)) is None
+
+    def test_mod_negative_numerator_stays_in_range(self):
+        assert Interval(-9, -1).mod(Interval.point(4)) == Interval(0, 3)
+
+    def test_mod_by_nonpositive_divisor_is_unprovable(self):
+        assert Interval(0, 7).mod(Interval.point(0)) is None
+        assert Interval(0, 7).mod(Interval.point(-4)) is None
+
+    def test_interval_of_descending_index(self):
+        # index = 7 - i over i in [0,7]: the descending access pattern
+        i = _e.Var("i")
+        iv = interval_of(_e.Sub(_e.IntImm(7), i), {i: Interval.extent(8)})
+        assert iv == Interval(0, 7)
+
+    def test_negative_stride_detected_by_stride_of(self):
+        i = _e.Var("i")
+        assert stride_of(_e.Sub(_e.IntImm(7), i), i) == -1
+
+
+class TestZeroExtentLoops:
+    def test_extent_zero_is_empty_safe(self):
+        assert Interval.extent(0) == Interval(0, 0)
+
+    def test_zero_trip_loop_demotes_oob_to_warn(self):
+        # the body never executes, so a provably-OOB store inside it
+        # must be unprovable (RB002), not a proven violation (RB001)
+        a = ir.Buffer("a", (8,))
+        i = ir.Var("i")
+        k = ir.Kernel("k", [a], ir.For(i, 0, ir.Store(a, i + 100, 1.0)))
+        report = check_bounds(k)
+        assert [d.rule for d in report.diagnostics] == ["RB002"]
+        assert report.clean
+
+    def test_positive_trip_loop_same_store_is_error(self):
+        a = ir.Buffer("a", (8,))
+        i = ir.Var("i")
+        k = ir.Kernel("k", [a], ir.For(i, 4, ir.Store(a, i + 100, 1.0)))
+        report = check_bounds(k)
+        assert [d.rule for d in report.diagnostics] == ["RB001"]
+
+
+class TestEvalIntZeroDivisor:
+    def test_floordiv_by_zero_is_not_evaluable(self):
+        assert eval_int(_e.FloorDiv(_e.IntImm(8), _e.IntImm(0))) is None
+
+    def test_mod_by_zero_is_not_evaluable(self):
+        assert eval_int(_e.Mod(_e.IntImm(8), _e.IntImm(0))) is None
+
+    def test_symbolic_divisor_bound_to_zero(self):
+        n = _e.Var("n")
+        e = _e.FloorDiv(_e.IntImm(8), n)
+        assert eval_int(e, {n: 0}) is None
+        assert eval_int(e, {n: 2}) == 4
+
+
+class TestDependenceAndReuseDistance:
+    """Unit coverage for the advisor's new `ir.analysis` helpers."""
+
+    def test_accumulation_is_distance_one(self):
+        i = _e.Var("i")
+        idx = _e.IntImm(3)
+        assert dependence_distance(idx, idx, i) == 1
+
+    def test_disjoint_offsets_carry_no_recurrence(self):
+        i = _e.Var("i")
+        assert dependence_distance(_e.IntImm(3), _e.IntImm(4), i) is None
+
+    def test_strided_recurrence_distance(self):
+        # store a[i+2], load a[i]: value written is read 2 iterations on
+        i = _e.Var("i")
+        assert dependence_distance(i + 2, i, i) == 2
+
+    def test_mismatched_strides_alias_at_most_once(self):
+        i = _e.Var("i")
+        assert dependence_distance(i * 2, i, i) is None
+
+    def test_reuse_distance_counts_inner_addresses(self):
+        # a[j] under loops (i, 4)(j, 16): i carries reuse, 16 addresses
+        i, j = _e.Var("i"), _e.Var("j")
+        assert reuse_distance(j, [(i, 4), (j, 16)]) == 16
+
+    def test_no_reuse_when_every_loop_advances(self):
+        i, j = _e.Var("i"), _e.Var("j")
+        assert reuse_distance(i * 16 + j, [(i, 4), (j, 16)]) is None
+
+    def test_symbolic_extent_unresolved_without_binding(self):
+        i, j = _e.Var("i"), _e.Var("j")
+        n = _e.Var("n")
+        assert reuse_distance(j, [(i, 4), (j, n)]) is None
+        assert reuse_distance(j, [(i, 4), (j, n)], {n: 8}) == 8
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

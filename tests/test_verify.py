@@ -475,6 +475,7 @@ class TestDiagnostics:
             "RB001", "RB002", "RR001", "RR002", "RR003",
             "RC001", "RC002", "RC003", "RC004", "RC005", "RC006",
             "RL001", "RL002", "RL003", "RL004",
+            "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
         }
 
     def test_report_json_round_trip(self):

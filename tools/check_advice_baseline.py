@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Advisor baseline gate: RP findings per network x board stay as committed.
+
+The CI ``advisor`` job runs this over a matrix of shipped network x
+board pairs.  For each pair it rebuilds the deployment (stopping after
+codegen, like ``--advise``), collects the performance advisor's
+findings as ``[rule, kernel, location]`` triples, and compares them to
+``tools/advice_baseline.json``.  A new finding, a vanished finding, or
+a finding that moved kernels fails the gate — so a schedule or
+cost-model change that shifts what the advisor says is visible in the
+diff of the committed baseline, not silent.
+
+Usage::
+
+    python tools/check_advice_baseline.py                 # all pairs
+    python tools/check_advice_baseline.py lenet5:S10MX    # a subset
+    python tools/check_advice_baseline.py --update        # rewrite baseline
+
+Exit status: 0 when every checked pair matches the baseline, 1 on any
+drift or build failure, 2 on a bad spec.  Stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE = ROOT / "tools" / "advice_baseline.json"
+
+#: the shipped matrix the CI advisor job covers (lenet5 at its default
+#: top optimization level)
+SPECS = [
+    f"{network}:{board}"
+    for network in ("lenet5", "mobilenet_v1", "resnet18")
+    for board in ("S10MX", "S10SX", "A10")
+]
+
+Findings = List[List[str]]
+
+
+def collect(spec: str) -> Findings:
+    """Advice triples ``[rule, kernel, location]`` for one build, sorted."""
+    from repro.report import advise_deployment
+
+    buf = io.StringIO()
+    status = advise_deployment(spec, out=buf, as_json=True)
+    if status != 0:
+        raise RuntimeError(f"--advise {spec} exited {status}: {buf.getvalue()}")
+    payload = json.loads(buf.getvalue())
+    return sorted(
+        [d["rule"], d["kernel"], d["location"]]
+        for d in payload["diagnostics"]
+        if d["severity"] == "advice"
+    )
+
+
+def main(argv: List[str]) -> int:
+    update = "--update" in argv
+    specs = [a for a in argv if not a.startswith("--")] or SPECS
+    for spec in specs:
+        if spec not in SPECS:
+            print(f"unknown spec {spec!r}; choose from: {', '.join(SPECS)}")
+            return 2
+
+    baseline: Dict[str, Findings] = (
+        json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    )
+    status = 0
+    for spec in specs:
+        try:
+            got = collect(spec)
+        except Exception as e:  # build failure is a gate failure, not a crash
+            print(f"{spec}: FAIL ({e})")
+            status = 1
+            continue
+        if update:
+            baseline[spec] = got
+            print(f"{spec}: {len(got)} finding(s) recorded")
+            continue
+        want = baseline.get(spec)
+        if want is None:
+            print(f"{spec}: no committed baseline (run with --update)")
+            status = 1
+        elif got != want:
+            for triple in sorted(map(tuple, set(map(tuple, got)) - set(map(tuple, want)))):
+                print(f"{spec}: new finding not in baseline: {list(triple)}")
+            for triple in sorted(map(tuple, set(map(tuple, want)) - set(map(tuple, got)))):
+                print(f"{spec}: baseline finding no longer emitted: {list(triple)}")
+            status = 1
+        else:
+            print(f"{spec}: OK ({len(got)} finding(s))")
+    if update:
+        BASELINE.write_text(
+            json.dumps({k: baseline[k] for k in sorted(baseline)}, indent=2)
+            + "\n"
+        )
+        print(f"wrote {BASELINE}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

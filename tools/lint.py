@@ -10,9 +10,15 @@ One entry point for every source-hygiene check the CI lint job runs:
 * ``rule catalog sync`` — every rule ID registered in
   ``repro.verify.diagnostics.RULES`` must be documented in
   ``docs/verification.md``, and every rule-shaped ID mentioned there
-  (``RB001``, ``RR003``, …) must exist in the registry.  Adding a
-  verifier rule without documenting it — or documenting a rule that was
-  removed — fails the lint.
+  (``RB001``, ``RR003``, ``RP001``, …) must exist in the registry.
+  Adding a verifier rule without documenting it — or documenting a rule
+  that was removed — fails the lint.
+* ``analyzer RULES sync`` — every analyzer module in
+  ``src/repro/verify/`` must declare a module-level ``RULES`` tuple
+  covering every rule ID its source emits (string literals shaped like
+  rule IDs), and the union of all module tables must equal the central
+  registry.  An analyzer emitting an ID missing from its own table — or
+  claiming an ID no module emits and no registry entry backs — fails.
 
 Exit status is unified: 0 when every check is clean, 1 when any check
 reports findings.  Run as ``python tools/lint.py`` from the repository
@@ -23,6 +29,8 @@ executes, and it stays dependency-free.
 
 from __future__ import annotations
 
+import ast
+import importlib
 import re
 import sys
 from pathlib import Path
@@ -34,7 +42,12 @@ sys.path.insert(0, str(ROOT / "src"))
 import lint_docstrings  # noqa: E402
 import lint_imports  # noqa: E402
 
-RULE_ID = re.compile(r"\bR[BRCL]\d{3}\b")
+RULE_ID = re.compile(r"\bR[BRCLP]\d{3}\b")
+#: a string literal that *is* a rule ID (not merely mentions one)
+RULE_LITERAL = re.compile(r"^R[BRCLP]\d{3}$")
+
+#: modules in src/repro/verify/ that are not analyzers (no RULES table)
+NON_ANALYZERS = {"__init__", "diagnostics"}
 
 
 def check_rule_catalog() -> int:
@@ -61,12 +74,66 @@ def check_rule_catalog() -> int:
     return 1 if findings else 0
 
 
+def _emitted_rule_ids(path: Path) -> set:
+    """Rule IDs appearing as whole string literals in one module."""
+    tree = ast.parse(path.read_text())
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and RULE_LITERAL.match(node.value)
+    }
+
+
+def check_analyzer_rules() -> int:
+    """Each analyzer's RULES table covers the IDs its source emits."""
+    from repro.verify.diagnostics import RULES as registry
+
+    findings = []
+    claimed = set()
+    for path in sorted((ROOT / "src" / "repro" / "verify").glob("*.py")):
+        if path.stem in NON_ANALYZERS:
+            continue
+        emitted = _emitted_rule_ids(path)
+        table = getattr(
+            importlib.import_module(f"repro.verify.{path.stem}"), "RULES", None
+        )
+        if table is None:
+            if emitted:
+                findings.append(
+                    f"{path}: emits rule IDs {sorted(emitted)} but declares "
+                    "no module-level RULES table"
+                )
+            continue
+        claimed.update(table)
+        for rule in sorted(emitted - set(table)):
+            findings.append(
+                f"{path}: emits rule ID {rule} missing from its RULES table"
+            )
+    for rule in sorted(claimed - set(registry)):
+        findings.append(
+            f"rule {rule} is claimed by an analyzer RULES table but not "
+            "registered in repro.verify.diagnostics.RULES"
+        )
+    for rule in sorted(set(registry) - claimed):
+        findings.append(
+            f"rule {rule} is registered in repro.verify.diagnostics.RULES "
+            "but no analyzer RULES table claims it"
+        )
+    for f in findings:
+        print(f)
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 def main() -> int:
     status = 0
     for title, check in [
         ("import lint", lint_imports.main),
         ("docstring lint", lint_docstrings.main),
         ("verifier rule catalog", check_rule_catalog),
+        ("analyzer RULES sync", check_analyzer_rules),
     ]:
         print(f"== {title} ==")
         status |= check()
