@@ -36,6 +36,15 @@ from repro.flow.pipelined import (
     schedule_pipelined,
 )
 from repro.flow.stages import MODELS, folded_flow, pipelined_flow, synthesize_key
+from repro.flow.autofix import (
+    AutofixResult,
+    BlockedFix,
+    FixStep,
+    autofix_folded,
+    autofix_network,
+    autofix_pipelined,
+    plan_recipe_fixes,
+)
 from repro.flow.autotune import TuneResult, autotune_folded
 from repro.flow.dse import (
     DSEPoint,
@@ -49,7 +58,9 @@ from repro.flow.dse import (
 )
 
 __all__ = [
-    "DSEPoint", "DegradationLadder", "TuneResult", "autotune_folded",
+    "AutofixResult", "BlockedFix", "DSEPoint", "DegradationLadder",
+    "FixStep", "TuneResult", "autofix_folded", "autofix_network",
+    "autofix_pipelined", "autotune_folded", "plan_recipe_fixes",
     "Deployment", "ResilientDeployment", "RungAttempt", "deploy_resilient",
     "FoldedConfig",
     "FoldedSchedule", "LEVELS", "MOBILENET_1X1_TILINGS", "MODELS",

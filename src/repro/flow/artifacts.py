@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import repro.ir as ir
 from repro.pipeline import register_canonicalizer, register_describer
 from repro.runtime.plan import Invocation
-from repro.schedule import Schedule
+from repro.schedule import Schedule, ScheduleRecipe
 from repro.schedule import lower as lower_schedule
 
 
@@ -26,7 +26,10 @@ class ScheduledKernel:
 
     Either ``schedule`` (+ ``lower_options`` forwarded to
     :func:`repro.schedule.lower`) or a ``prebuilt`` kernel for ops whose
-    builders emit IR directly (softmax).
+    builders emit IR directly (softmax).  ``recipe`` is the declarative
+    transform sequence the schedule was built from (None for prebuilt
+    kernels); its fingerprint enters the kernel's canonical form, so the
+    content-addressed compile cache keys on the recipe.
     """
 
     name: str
@@ -34,6 +37,7 @@ class ScheduledKernel:
     schedule: Optional[Schedule] = None
     prebuilt: Optional[ir.Kernel] = None
     lower_options: Dict[str, object] = field(default_factory=dict)
+    recipe: Optional[ScheduleRecipe] = None
 
     @property
     def autorun(self) -> bool:
@@ -73,10 +77,15 @@ class FoldedSchedule:
 # -- pipeline integration ---------------------------------------------------
 
 register_canonicalizer(
+    ScheduleRecipe,
+    lambda r: ["schedule-recipe", r.to_dict()],
+)
+register_canonicalizer(
     ScheduledKernel,
     lambda s: [
         "scheduled-kernel", s.name, s.layer, s.prebuilt is not None,
         sorted(s.lower_options),
+        None if s.recipe is None else s.recipe.fingerprint(),
     ],
 )
 register_canonicalizer(

@@ -48,6 +48,9 @@ class TuneResult:
     pruned_static: int = 0
     #: (group, tiling, reason) per statically pruned candidate
     pruned: List[Tuple[GroupId, ConvTiling, str]] = field(default_factory=list)
+    #: kernel name -> recipe fingerprint under the winning configuration,
+    #: i.e. the (tiling, recipe) identity each tuned point resolves to
+    recipes: Dict[str, str] = field(default_factory=dict)
 
 
 def _group_extents(fused: FusedGraph) -> Dict[GroupId, Dict[str, List[int]]]:
@@ -123,6 +126,8 @@ def autotune_folded(
         conv_tilings=dict(config.conv_tilings),
         dense_unroll=config.dense_unroll,
         pin_unit_stride=config.pin_unit_stride,
+        recipe_deltas=dict(config.recipe_deltas),
+        recipe_overrides=dict(config.recipe_overrides),
     )
     extents = _group_extents(fused)
     evaluations = 0
@@ -206,7 +211,21 @@ def autotune_folded(
         cache_misses=stats1["misses"] - stats0["misses"],
         failed_points=len(failures), failures=failures,
         pruned_static=len(pruned), pruned=pruned,
+        recipes=_final_recipes(fused, config, board),
     )
+
+
+def _final_recipes(
+    fused: FusedGraph, config: FoldedConfig, board: Board
+) -> Dict[str, str]:
+    """Recipe fingerprint per kernel under the winning configuration."""
+    from repro.flow.folded import schedule_folded
+
+    folded = schedule_folded(fused, config, board)
+    return {
+        sk.name: sk.recipe.fingerprint()
+        for sk in folded.kernels if sk.recipe is not None
+    }
 
 
 def _prune_trial(

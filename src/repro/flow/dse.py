@@ -31,12 +31,19 @@ from repro.flow.folded import FoldedConfig
 from repro.flow.stages import CacheOption, folded_flow, resolve_cache
 from repro.relay.passes import FusedGraph
 from repro.runtime.simulate import simulate_folded
-from repro.topi import ConvTiling
+from repro.schedule import ScheduleRecipe
+from repro.topi import ConvTiling, symbolic_conv_recipe
 
 
 @dataclass
 class DSEPoint:
-    """One evaluated (or statically pruned) tiling configuration."""
+    """One evaluated (or statically pruned) tiling configuration.
+
+    A point is (tiling, recipe): ``recipe`` is the transform recipe the
+    tiling expands to for the swept group's kernel, whose fingerprint
+    keys the compile cache.  ``fixed`` marks points the static autofix
+    pass rewrote (recipe deltas / stride pinning) before synthesis.
+    """
 
     tiling: ConvTiling
     fits: bool
@@ -47,6 +54,9 @@ class DSEPoint:
     fail_reason: Optional[str] = None
     #: skipped before synthesis by a dominance/infeasibility proof
     pruned: bool = False
+    recipe: Optional[ScheduleRecipe] = None
+    #: rewritten by the static autofix pass before synthesis
+    fixed: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -81,6 +91,12 @@ class SweepSummary:
         """Points that actually went through the compile pipeline."""
         return sum(1 for p in self.points if not p.pruned)
 
+    @property
+    def fixed_static(self) -> int:
+        """Points the static autofix pass rewrote before synthesis —
+        accounted distinctly from pruned ones (they did synthesize)."""
+        return sum(1 for p in self.points if p.fixed)
+
     def fail_reasons(self) -> Dict[str, int]:
         """Histogram of failure classes, keys sorted.
 
@@ -103,6 +119,7 @@ class SweepSummary:
             "feasible": sum(1 for p in self.points if p.feasible),
             "failed": self.failed_points,
             "pruned_static": self.pruned_static,
+            "fixed_static": self.fixed_static,
             "synthesized": self.synthesized,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -116,6 +133,7 @@ class SweepSummary:
             f"sweep: {d['points']} points, {d['feasible']} feasible, "
             f"{d['synthesized']} synthesized, "
             f"{d['pruned_static']} pruned statically, "
+            f"{d['fixed_static']} autofixed, "
             f"cache {d['cache_hits']}h/{d['cache_misses']}m"
             + (f" [{reasons}]" if reasons else "")
         )
@@ -159,23 +177,28 @@ def evaluate_tiling(
         conv_tilings=dict(config.conv_tilings),
         dense_unroll=config.dense_unroll,
         pin_unit_stride=config.pin_unit_stride,
+        recipe_deltas=dict(config.recipe_deltas),
+        recipe_overrides=dict(config.recipe_overrides),
     )
     config.conv_tilings[group] = tiling
+    recipe = symbolic_conv_recipe(
+        tiling, is_1x1=(group[1] == 1), depthwise=(group[0] == "dw")
+    )
     flow = folded_flow(fused.graph.name, board, config, constants, cache=cache)
     try:
         result = flow.run(seed={"graph": fused.graph, "fused": fused})
     except FitError as e:
         return DSEPoint(tiling, fits=False, routed=True,
-                        fail_reason=f"FitError: {e}")
+                        fail_reason=f"FitError: {e}", recipe=recipe)
     except RoutingError as e:
         return DSEPoint(tiling, fits=True, routed=False,
-                        fail_reason=f"RoutingError: {e}")
+                        fail_reason=f"RoutingError: {e}", recipe=recipe)
     except AOCError as e:
         # any other compiler failure (crash, internal error): the point
         # is recorded as infeasible instead of aborting the whole sweep
         return DSEPoint(
             tiling, fits=False, routed=False,
-            fail_reason=f"{type(e).__name__}: {e}",
+            fail_reason=f"{type(e).__name__}: {e}", recipe=recipe,
         )
     bs = result.value("bitstream")
     sim = simulate_folded(bs, result.value("plan"))
@@ -186,6 +209,7 @@ def evaluate_tiling(
         fps=sim.fps,
         fmax_mhz=bs.fmax_mhz,
         dsps=bs.total.dsps,
+        recipe=recipe,
     )
 
 
@@ -198,6 +222,8 @@ def sweep_conv1x1(
     constants: AOCConstants = DEFAULT_CONSTANTS,
     cache: CacheOption = None,
     prune: bool = False,
+    base_config: Optional[FoldedConfig] = None,
+    autofix: bool = False,
 ) -> SweepSummary:
     """Sweep 1x1-conv tiling space (the Table 6.6 experiment, generalized).
 
@@ -207,8 +233,12 @@ def sweep_conv1x1(
     additionally skips candidates that are statically infeasible or
     dominated by an earlier kept point — those appear in the summary as
     pruned points (``pruned_static``) with the proof in ``fail_reason``,
-    and never touch the compile pipeline.  Returns the evaluated points
-    plus the compile-cache hits/misses this sweep incurred.
+    and never touch the compile pipeline.  With ``autofix`` each
+    surviving candidate first runs the static recipe-level fix pass of
+    :mod:`repro.flow.autofix` (one verify pass, no synthesis); rewritten
+    points are marked ``fixed`` and counted as ``fixed_static``.
+    Returns the evaluated points plus the compile-cache hits/misses this
+    sweep incurred.
     """
     from repro.flow.deploy import default_folded_config
 
@@ -223,13 +253,14 @@ def sweep_conv1x1(
         for c2 in c2vec_options if divides_all(c2, c2_extents)
         for c1 in c1vec_options if divides_all(c1, c1_extents)
     ]
+    base = base_config or default_folded_config(fused.graph.name, board)
     decisions = None
     if prune:
         from repro.verify.dominance import plan_conv_sweep
 
-        pin = default_folded_config(fused.graph.name, board).pin_unit_stride
         decisions = plan_conv_sweep(
-            fused, ("conv", 1, 1), tilings, board, constants, pin
+            fused, ("conv", 1, 1), tilings, board, constants,
+            base.pin_unit_stride,
         )
 
     points: List[DSEPoint] = []
@@ -242,12 +273,17 @@ def sweep_conv1x1(
                 )
             )
             continue
-        points.append(
-            evaluate_tiling(
-                fused, board, ("conv", 1, 1), tiling,
-                constants=constants, cache=point_cache,
+        eff_base, fixed = base, False
+        if autofix:
+            eff_base, fixed = _autofix_candidate(
+                fused, board, ("conv", 1, 1), tiling, base, constants
             )
+        point = evaluate_tiling(
+            fused, board, ("conv", 1, 1), tiling,
+            base_config=eff_base, constants=constants, cache=point_cache,
         )
+        point.fixed = fixed
+        points.append(point)
 
     after = resolved.stats() if resolved is not None else before
     return SweepSummary(
@@ -279,6 +315,35 @@ def choose_tiling(points: Sequence[DSEPoint]) -> DSEPoint:
     if not feasible:
         raise FitError("no feasible tiling configuration in the swept space")
     return max(feasible, key=lambda p: p.fps or 0.0)
+
+
+def _autofix_candidate(
+    fused: FusedGraph,
+    board: Board,
+    group: Tuple[str, int, int],
+    tiling: ConvTiling,
+    base: FoldedConfig,
+    constants: AOCConstants,
+) -> Tuple[FoldedConfig, bool]:
+    """Run the static autofix planner on one candidate configuration.
+
+    Returns the (possibly rewritten) base config for this point plus
+    whether any recipe-level fix was applied.  The planner only runs the
+    schedule/lower/codegen/verify front of the pipeline — never
+    synthesis — so it is safe inside a sweep loop.
+    """
+    from repro.flow.autofix import plan_recipe_fixes
+
+    config = FoldedConfig(
+        conv_tilings=dict(base.conv_tilings),
+        dense_unroll=base.dense_unroll,
+        pin_unit_stride=base.pin_unit_stride,
+        recipe_deltas=dict(base.recipe_deltas),
+        recipe_overrides=dict(base.recipe_overrides),
+    )
+    config.conv_tilings[group] = tiling
+    fixed_config, changed = plan_recipe_fixes(fused, board, config, constants)
+    return (fixed_config if changed else base), changed
 
 
 def _conv1x1_extents(fused: FusedGraph) -> Tuple[List[int], List[int], List[int]]:

@@ -16,39 +16,39 @@ from typing import Dict, List, Tuple
 
 import repro.ir as ir
 from repro.device.boards import Board
-from repro.errors import UnsupportedError
+from repro.errors import ScheduleError, UnsupportedError
 from repro.flow.artifacts import FoldedSchedule, ScheduledKernel
 from repro.relay.passes import FusedGraph, FusedNode
 from repro.runtime.plan import FoldedPlan, Invocation
-from repro.schedule import create_schedule
+from repro.schedule import ScheduleRecipe, create_schedule
 from repro.topi import (
     ConvSpec,
     ConvTiling,
     DenseSpec,
     PoolSpec,
+    conv1x1_opt_recipe,
+    conv2d_naive_recipe,
+    conv2d_opt_recipe,
     conv2d_symbolic,
     conv2d_tensors,
+    dense_naive_recipe,
+    dense_opt_recipe,
     dense_tensors,
+    depthwise_naive_recipe,
+    depthwise_opt_recipe,
     depthwise_symbolic,
     depthwise_tensors,
     flatten_tensors,
     gap_tensors,
     pad_symbolic,
     pad_tensors,
+    pool_naive_recipe,
+    pool_opt_recipe,
     pool_tensors,
-    schedule_conv1x1_opt,
-    schedule_conv2d_naive,
-    schedule_conv2d_opt,
-    schedule_dense_naive,
-    schedule_dense_opt,
-    schedule_depthwise_naive,
-    schedule_depthwise_opt,
-    schedule_pool_naive,
-    schedule_pool_opt,
-    schedule_symbolic_conv,
-    schedule_transform,
     softmax_kernel_licm,
     softmax_kernel_naive,
+    symbolic_conv_recipe,
+    transform_recipe,
 )
 
 GroupKey = Tuple
@@ -60,6 +60,11 @@ class FoldedConfig:
 
     ``conv_tilings`` maps ``('conv'|'dw', field, stride)`` to a
     :class:`ConvTiling`; unlisted groups default to FxF unrolling only.
+    ``recipe_deltas`` maps a kernel name to extra transform steps
+    appended after that kernel's base recipe (how ``flow.autofix``
+    rewrites schedules); ``recipe_overrides`` replaces a kernel's base
+    recipe entirely with a deserialized one (the round-trip replay
+    path).
     """
 
     conv_tilings: Dict[Tuple[str, int, int], ConvTiling] = field(default_factory=dict)
@@ -67,6 +72,8 @@ class FoldedConfig:
     naive: bool = False
     #: model the Listing 5.11 stride-pinning workaround (True = coalesced)
     pin_unit_stride: bool = True
+    recipe_deltas: Dict[str, ScheduleRecipe] = field(default_factory=dict)
+    recipe_overrides: Dict[str, ScheduleRecipe] = field(default_factory=dict)
 
     def tiling_for(self, kind: str, f: int, s: int) -> ConvTiling:
         return self.conv_tilings.get((kind, f, s), ConvTiling())
@@ -160,6 +167,21 @@ class _FoldedBuilder:
         return ("static", fn.name)
 
     # ------------------------------------------------------------------
+    def _resolve_recipe(self, kname: str, base: ScheduleRecipe) -> ScheduleRecipe:
+        """Final recipe for a kernel: override wins, else base + delta."""
+        override = self.config.recipe_overrides.get(kname)
+        if override is not None:
+            return override
+        delta = self.config.recipe_deltas.get(kname)
+        return base + delta if delta else base
+
+    def _apply_recipe(
+        self, kname: str, out: ir.Tensor, base: ScheduleRecipe
+    ) -> Tuple[object, ScheduleRecipe]:
+        rec = self._resolve_recipe(kname, base)
+        return rec.apply(create_schedule(out)), rec
+
+    # ------------------------------------------------------------------
     def _get_group_kernel(self, fn: FusedNode, key: GroupKey):
         if key in self.groups:
             return self.groups[key]
@@ -175,8 +197,8 @@ class _FoldedBuilder:
                 residual=fn.has_residual, batchnorm=fn.has_batchnorm,
                 pin_unit_stride=pin,
             )
-            sch = schedule_symbolic_conv(
-                out, self.config.tiling_for("conv", f, s), is_1x1=(f == 1)
+            base_recipe = symbolic_conv_recipe(
+                self.config.tiling_for("conv", f, s), is_1x1=(f == 1)
             )
         elif fn.op == "depthwise_conv2d":
             fn.check_canonical_epilogue()
@@ -185,17 +207,18 @@ class _FoldedBuilder:
                 f, s, base, bias=a.get("bias", True), activation=fn.activation,
                 batchnorm=fn.has_batchnorm, pin_unit_stride=pin,
             )
-            sch = schedule_symbolic_conv(
-                out, self.config.tiling_for("dw", f, s), is_1x1=False
+            base_recipe = symbolic_conv_recipe(
+                self.config.tiling_for("dw", f, s), is_1x1=False, depthwise=True
             )
         elif fn.op == "pad":
             before, after = a["pad"]
             handle, _, out = pad_symbolic(before, after, base)
-            sch = create_schedule(out)
+            base_recipe = transform_recipe()
         else:  # pragma: no cover
             raise UnsupportedError(f"cannot parameterize {fn.op}")
+        sch, rec = self._apply_recipe(kname, out, base_recipe)
         self.kernels.append(
-            ScheduledKernel(name=kname, layer=fn.name, schedule=sch)
+            ScheduledKernel(name=kname, layer=fn.name, schedule=sch, recipe=rec)
         )
         self.groups[key] = (kname, handle)
         return self.groups[key]
@@ -220,6 +243,7 @@ class _FoldedBuilder:
         naive = self.config.naive
         kname = f"k_{fn.name}"
         kern = None
+        out = base_recipe = None
         if fn.op == "conv2d":
             fn.check_canonical_epilogue()
             c1, h, w = fn.anchor.inputs[0].out_shape
@@ -230,16 +254,20 @@ class _FoldedBuilder:
             )
             _, out = conv2d_tensors(spec, fn.name)
             if naive:
-                sch = schedule_conv2d_naive(
-                    out, auto_unroll_ff=self.board.auto_unroll_small_loops
+                base_recipe = conv2d_naive_recipe(
+                    auto_unroll_ff=self.board.auto_unroll_small_loops
                 )
             else:
                 tiling = self.config.tiling_for("conv", spec.f, spec.s)
                 tiling = self._legal_tiling(tiling, spec)
                 if spec.f == 1:
-                    sch = schedule_conv1x1_opt(out, tiling)
+                    base_recipe = conv1x1_opt_recipe(tiling)
                 else:
-                    sch = schedule_conv2d_opt(out, tiling)
+                    if tiling.c2vec != 1:
+                        raise ScheduleError(
+                            "c2vec tiling applies to 1x1 convs only (use conv1x1)"
+                        )
+                    base_recipe = conv2d_opt_recipe(tiling)
         elif fn.op == "depthwise_conv2d":
             fn.check_canonical_epilogue()
             c1, h, w = fn.anchor.inputs[0].out_shape
@@ -250,19 +278,19 @@ class _FoldedBuilder:
             )
             _, out = depthwise_tensors(spec, fn.name)
             if naive:
-                sch = schedule_depthwise_naive(
-                    out, auto_unroll_ff=self.board.auto_unroll_small_loops
+                base_recipe = depthwise_naive_recipe(
+                    auto_unroll_ff=self.board.auto_unroll_small_loops
                 )
             else:
                 tiling = self._legal_tiling(
                     self.config.tiling_for("dw", spec.f, spec.s), spec
                 )
-                sch = schedule_depthwise_opt(out, tiling)
+                base_recipe = depthwise_opt_recipe(tiling)
         elif fn.op == "pad":
             before, after = a["pad"]
             c, h, w = fn.anchor.inputs[0].out_shape
             _, out = pad_tensors(c, h, w, before, after, fn.name)
-            sch = schedule_transform(out)
+            base_recipe = transform_recipe()
         elif fn.op in ("maxpool", "avgpool"):
             c, h, w = fn.anchor.inputs[0].out_shape
             spec = PoolSpec(
@@ -270,15 +298,15 @@ class _FoldedBuilder:
                 kind="max" if fn.op == "maxpool" else "avg",
             )
             _, out = pool_tensors(spec, fn.name)
-            sch = schedule_pool_naive(out) if naive else schedule_pool_opt(out)
+            base_recipe = pool_naive_recipe() if naive else pool_opt_recipe(out)
         elif fn.op == "global_avgpool":
             c, h, w = fn.anchor.inputs[0].out_shape
             _, out = gap_tensors(c, h, w, fn.name)
-            sch = schedule_pool_naive(out) if naive else schedule_pool_opt(out)
+            base_recipe = pool_naive_recipe() if naive else pool_opt_recipe(out)
         elif fn.op == "flatten":
             c, h, w = fn.anchor.inputs[0].out_shape
             _, out = flatten_tensors(c, h, w, fn.name)
-            sch = schedule_transform(out)
+            base_recipe = transform_recipe()
         elif fn.op == "dense":
             (n,) = fn.anchor.inputs[0].out_shape
             spec = DenseSpec(
@@ -287,12 +315,12 @@ class _FoldedBuilder:
             )
             _, out = dense_tensors(spec, fn.name)
             if naive:
-                sch = schedule_dense_naive(out)
+                base_recipe = dense_naive_recipe()
             else:
                 factor = self.config.dense_unroll
                 while factor > 1 and n % factor != 0:
                     factor //= 2
-                sch = schedule_dense_opt(out, factor)
+                base_recipe = dense_opt_recipe(factor)
         elif fn.op == "softmax":
             (n,) = fn.anchor.inputs[0].out_shape
             if naive:
@@ -301,12 +329,17 @@ class _FoldedBuilder:
                 kern = softmax_kernel_licm(n, fn.name, kname)
         else:  # pragma: no cover
             raise UnsupportedError(f"folded builder: unsupported op {fn.op}")
-        self.kernels.append(
-            ScheduledKernel(
-                name=kname, layer=fn.name,
-                schedule=None if kern is not None else sch, prebuilt=kern,
+        if kern is not None:
+            self.kernels.append(
+                ScheduledKernel(name=kname, layer=fn.name, prebuilt=kern)
             )
-        )
+        else:
+            sch, rec = self._apply_recipe(kname, out, base_recipe)
+            self.kernels.append(
+                ScheduledKernel(
+                    name=kname, layer=fn.name, schedule=sch, recipe=rec
+                )
+            )
         return kname
 
     @staticmethod

@@ -94,9 +94,12 @@ def synthesize_key(board: Board, constants: AOCConstants) -> Callable[[Context],
 
     Hashes the emitted OpenCL source (which embeds every schedule and
     tiling decision, including ``__attribute__((depth(N)))`` channel
-    depths), the channel list, the target board and the cost-model
-    constants.  Source text is reproducible because builders reset the
-    IR name uniquifier (:func:`repro.ir.reset_fresh_names`) per build.
+    depths), the schedule artifact (whose kernels canonicalize to their
+    recipe fingerprints, so a DSE/autotune point is cached as its
+    (tiling, recipe) identity), the channel list, the target board and
+    the cost-model constants.  Source text is reproducible because
+    builders reset the IR name uniquifier
+    (:func:`repro.ir.reset_fresh_names`) per build.
     """
 
     def key(ctx: Context) -> str:
@@ -106,6 +109,7 @@ def synthesize_key(board: Board, constants: AOCConstants) -> Callable[[Context],
             [
                 "synthesize",
                 ctx.value("source"),
+                ctx.value("schedule"),
                 channels,
                 board.name,
                 constants,
@@ -204,39 +208,72 @@ def folded_flow(
     config: FoldedConfig,
     constants: AOCConstants = DEFAULT_CONSTANTS,
     cache: CacheOption = None,
+    autofix: bool = False,
 ) -> Pipeline:
-    """The eight-stage folded (MobileNet/ResNet-class) deployment flow."""
-    return Pipeline(
-        f"folded:{network}:{board.name}",
-        [
-            _import_stage(network),
-            Stage("fuse", "fused", lambda ctx: fuse_operators(ctx.value("graph"))),
+    """The eight-stage folded (MobileNet/ResNet-class) deployment flow.
+
+    With ``autofix`` an extra ``autofix`` stage runs between ``fuse``
+    and ``schedule``: the advise->rewrite loop of
+    :mod:`repro.flow.autofix` iterates the given config to an
+    advice-clean fixpoint (or a structured stuck report) *before* any
+    synthesis, and the downstream stages build its fixed configuration.
+    The :class:`~repro.flow.autofix.AutofixResult` lands in the stage
+    trace as the ``autofix`` artifact.
+    """
+    stages = [
+        _import_stage(network),
+        Stage("fuse", "fused", lambda ctx: fuse_operators(ctx.value("graph"))),
+    ]
+    if autofix:
+        from repro.flow.autofix import autofix_folded
+
+        stages.append(
             Stage(
-                "schedule",
-                "schedule",
-                lambda ctx: schedule_folded(ctx.value("fused"), config, board),
-            ),
-            Stage("lower", "program",
-                  lambda ctx: lower_folded(ctx.value("schedule"))),
-            Stage("codegen", "source",
-                  lambda ctx: generate_opencl(ctx.value("program"))),
-            _verify_stage(
-                lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule")),
-                board, constants,
-            ),
-            Stage(
-                "synthesize",
-                "bitstream",
-                lambda ctx: synthesize_resilient(
-                    ctx.value("program"), board, constants
+                "autofix",
+                "autofix",
+                lambda ctx: autofix_folded(
+                    ctx.value("fused"), board, config=config,
+                    constants=constants,
                 ),
-                cache_key=synthesize_key(board, constants),
+            )
+        )
+
+        def config_of(ctx: Context) -> FoldedConfig:
+            return ctx.value("autofix").config
+    else:
+        def config_of(ctx: Context) -> FoldedConfig:
+            return config
+
+    stages += [
+        Stage(
+            "schedule",
+            "schedule",
+            lambda ctx: schedule_folded(ctx.value("fused"), config_of(ctx), board),
+        ),
+        Stage("lower", "program",
+              lambda ctx: lower_folded(ctx.value("schedule"))),
+        Stage("codegen", "source",
+              lambda ctx: generate_opencl(ctx.value("program"))),
+        _verify_stage(
+            lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule")),
+            board, constants,
+        ),
+        Stage(
+            "synthesize",
+            "bitstream",
+            lambda ctx: synthesize_resilient(
+                ctx.value("program"), board, constants
             ),
-            Stage(
-                "plan",
-                "plan",
-                lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule")),
-            ),
-        ],
+            cache_key=synthesize_key(board, constants),
+        ),
+        Stage(
+            "plan",
+            "plan",
+            lambda ctx: plan_folded(ctx.value("fused"), ctx.value("schedule")),
+        ),
+    ]
+    return Pipeline(
+        f"folded:{network}:{board.name}" + (":autofix" if autofix else ""),
+        stages,
         cache=resolve_cache(cache),
     )

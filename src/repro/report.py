@@ -12,7 +12,10 @@ batched multi-replica serving simulation and prints its metrics;
 OpenCL lint) over one build and exits non-zero on any error-severity
 finding; ``--advise`` runs the static performance advisor (RP rules)
 and the dominance-prune preview over one build — advice-only findings
-exit 0.  Run with ``--help`` for the full flag reference.
+exit 0; ``--autofix`` feeds the advisor's machine-readable fixes back
+into the schedule and iterates to an advice-clean fixpoint (or a
+provably-stuck report).  Run with ``--help`` for the full flag
+reference.
 """
 
 from __future__ import annotations
@@ -377,6 +380,52 @@ def advise_deployment(
     return 0 if report.clean else 1
 
 
+def autofix_deployment(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+) -> int:
+    """Run the advise->rewrite auto-scheduler over one build.
+
+    ``spec`` is ``NETWORK[:BOARD]`` — e.g. ``mobilenet_v1:A10``.  Board
+    defaults to S10SX; mode is pipelined for lenet5 and folded
+    otherwise.  The loop stops after codegen each iteration (no
+    synthesis) and prints every applied fix, every blocking finding and
+    the recipe round-trip verdict.  Exit status: 0 when the loop reached
+    an advice-clean fixpoint or a provably-stuck report, 1 on a
+    verify-error/cycle/iteration-limit outcome, 2 on a bad spec.
+    """
+    import json
+
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.autofix import autofix_network
+    from repro.flow.stages import MODELS
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        out.write(f"unknown network {network!r}; "
+                  f"choose from: {', '.join(sorted(MODELS))}\n")
+        return 2
+    try:
+        board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
+    except KeyError:
+        out.write(f"unknown board {parts[1]!r}; choose from: "
+                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
+        return 2
+    try:
+        result = autofix_network(network, board)
+    except ReproError as e:
+        out.write(f"{type(e).__name__}: {e}\n")
+        return 1
+    if as_json:
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+    else:
+        out.write(result.format() + "\n")
+    converged = result.clean or result.stuck_reason == "blocked"
+    return 0 if converged else 1
+
+
 def serve_demo(
     spec: str,
     out: TextIO = sys.stdout,
@@ -472,6 +521,11 @@ modes:
                           roofline classification, dominance-prune
                           preview; SPEC = NETWORK[:BOARD[:LEVEL]], e.g.
                           lenet5:S10SX:base; advice-only findings exit 0
+  --autofix SPEC          advise->rewrite auto-scheduler: apply the RP
+                          findings' machine-readable fixes, re-verify,
+                          iterate to an advice-clean fixpoint or a
+                          provably-stuck report (no synthesis);
+                          SPEC = NETWORK[:BOARD], e.g. mobilenet_v1:A10
 
 flags:
   --json                  emit JSON instead of tables
@@ -509,6 +563,11 @@ def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
             out.write(USAGE)
             return 2
         return advise_deployment(args[1], out, as_json="--json" in args[2:])
+    if args and args[0] == "--autofix":
+        if len(args) < 2:
+            out.write(USAGE)
+            return 2
+        return autofix_deployment(args[1], out, as_json="--json" in args[2:])
     if args and args[0] == "--serve":
         if len(args) < 2:
             out.write(USAGE)

@@ -9,5 +9,25 @@ kernel still matches ``repro.nn`` numerically.
 
 from repro.schedule.schedule import Schedule, SplitRel, Stage, create_schedule
 from repro.schedule.lower import lower
+from repro.schedule.transforms import (
+    CATALOG,
+    ScheduleRecipe,
+    TransformStep,
+    canonical_axis,
+    recipe,
+    step,
+)
 
-__all__ = ["Schedule", "SplitRel", "Stage", "create_schedule", "lower"]
+__all__ = [
+    "Schedule",
+    "SplitRel",
+    "Stage",
+    "create_schedule",
+    "lower",
+    "CATALOG",
+    "ScheduleRecipe",
+    "TransformStep",
+    "canonical_axis",
+    "recipe",
+    "step",
+]

@@ -28,6 +28,20 @@ from repro.topi.pooling import (
 )
 from repro.topi.softmax import softmax_kernel_licm, softmax_kernel_naive, softmax_tensors
 from repro.topi.pad import flatten_tensors, pad_tensors, schedule_transform
+from repro.topi.recipes import (
+    conv1x1_opt_recipe,
+    conv2d_naive_recipe,
+    conv2d_opt_recipe,
+    dense_naive_recipe,
+    dense_opt_recipe,
+    depthwise_naive_recipe,
+    depthwise_opt_recipe,
+    pool_naive_recipe,
+    pool_opt_recipe,
+    recipe_for_kernel,
+    symbolic_conv_recipe,
+    transform_recipe,
+)
 from repro.topi.symbolic import (
     SymbolicConv,
     SymbolicPad,
@@ -39,13 +53,17 @@ from repro.topi.symbolic import (
 
 __all__ = [
     "ConvSpec", "ConvTiling", "DenseSpec", "PoolSpec", "SymbolicConv",
-    "SymbolicPad", "conv2d_symbolic", "conv2d_tensors", "dense_tensors",
-    "depthwise_symbolic", "depthwise_tensors", "flatten_tensors",
-    "gap_tensors", "make_activation", "pad_symbolic", "pad_tensors",
-    "pool_tensors", "schedule_conv1x1_opt", "schedule_conv2d_naive",
-    "schedule_conv2d_opt", "schedule_dense_naive", "schedule_dense_opt",
+    "SymbolicPad", "conv1x1_opt_recipe", "conv2d_naive_recipe",
+    "conv2d_opt_recipe", "conv2d_symbolic", "conv2d_tensors",
+    "dense_naive_recipe", "dense_opt_recipe", "dense_tensors",
+    "depthwise_naive_recipe", "depthwise_opt_recipe", "depthwise_symbolic",
+    "depthwise_tensors", "flatten_tensors", "gap_tensors",
+    "make_activation", "pad_symbolic", "pad_tensors", "pool_naive_recipe",
+    "pool_opt_recipe", "pool_tensors", "recipe_for_kernel",
+    "schedule_conv1x1_opt", "schedule_conv2d_naive", "schedule_conv2d_opt",
+    "schedule_dense_naive", "schedule_dense_opt",
     "schedule_depthwise_naive", "schedule_depthwise_opt",
     "schedule_pool_naive", "schedule_pool_opt", "schedule_symbolic_conv",
     "schedule_transform", "softmax_kernel_licm", "softmax_kernel_naive",
-    "softmax_tensors",
+    "softmax_tensors", "symbolic_conv_recipe", "transform_recipe",
 ]

@@ -19,12 +19,17 @@ The symbolic-shape (parameterized) variants live in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import repro.ir as ir
 from repro.errors import ScheduleError
 from repro.schedule import Schedule, create_schedule
 from repro.topi.common import ConvSpec, ConvTiling, make_activation
+from repro.topi.recipes import (
+    conv1x1_opt_recipe,
+    conv2d_naive_recipe,
+    conv2d_opt_recipe,
+)
 
 
 def conv2d_tensors(spec: ConvSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
@@ -88,15 +93,7 @@ def schedule_conv2d_naive(out: ir.Tensor, auto_unroll_ff: bool = False) -> Sched
     automatically unrolling small-trip-count loops (the FxF reduction),
     which the thesis observes on the A10 and S10SX baselines.
     """
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    ff, yy, xx = st.data_axes
-    st.writeback_at(ff)  # scratchpad over (yy, xx); separate writeback loop
-    if auto_unroll_ff:
-        rc, ry, rx = st.reduce_axes
-        st.unroll(ry)
-        st.unroll(rx)
-    return sch
+    return conv2d_naive_recipe(auto_unroll_ff).apply(create_schedule(out))
 
 
 def schedule_conv2d_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
@@ -109,43 +106,7 @@ def schedule_conv2d_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
     """
     if tiling.c2vec != 1:
         raise ScheduleError("c2vec tiling applies to 1x1 convs only (use conv1x1)")
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    ff, yy, xx = st.data_axes
-    rc, ry, rx = st.reduce_axes
-    st.cache_write("register")
-
-    xxi: Optional[ir.IterVar] = None
-    if tiling.w2vec > 1:
-        xxo, xxi = st.split(xx, tiling.w2vec)
-        st.unroll(xxi)
-        wb = xxo
-    else:
-        wb = xx
-    rci: Optional[ir.IterVar] = None
-    if tiling.c1vec > 1:
-        rco, rci = st.split(rc, tiling.c1vec)
-        st.unroll(rci)
-    if tiling.unroll_ff:
-        st.unroll(ry)
-        st.unroll(rx)
-    st.writeback_at(wb)
-
-    # move the unrolled xxi inside the reduction (Listing 5.3): leaf order
-    # ff, yy, xxo, rco, rci, xxi, ry, rx
-    if xxi is not None:
-        order = [ax for ax in st.leaf_axes if ax is not xxi]
-        if rci is not None:
-            idx = order.index(rci) + 1
-        else:
-            # place right after the first reduce axis (rc/rco)
-            first_reduce = next(ax for ax in order if ax.is_reduce)
-            idx = order.index(first_reduce) + 1
-        order.insert(idx, xxi)
-        st.reorder(*order)
-    sch.stages[0].cache_read(st.op.inputs[0])  # input FM read cache
-    sch.stages[0].cache_read(st.op.inputs[1])  # weight read cache
-    return sch
+    return conv2d_opt_recipe(tiling).apply(create_schedule(out))
 
 
 def schedule_conv1x1_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
@@ -156,35 +117,6 @@ def schedule_conv1x1_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
     ``c2vec x w2vec`` register tile.
     """
     sch = create_schedule(out)
-    st = sch.stages[0]
-    ff, yy, xx = st.data_axes
-    rc, ry, rx = st.reduce_axes
-    if st.op.inputs[1].shape[-1] != 1:
+    if sch.stages[0].op.inputs[1].shape[-1] != 1:
         raise ScheduleError("schedule_conv1x1_opt requires F=1")
-    st.cache_write("register")
-
-    ffi = xxi = rci = None
-    wb_candidates = []
-    if tiling.c2vec > 1:
-        ffo, ffi = st.split(ff, tiling.c2vec)
-        st.unroll(ffi)
-    if tiling.w2vec > 1:
-        xxo, xxi = st.split(xx, tiling.w2vec)
-        st.unroll(xxi)
-        wb_candidates.append(xxo)
-    else:
-        wb_candidates.append(xx)
-    if tiling.c1vec > 1:
-        rco, rci = st.split(rc, tiling.c1vec)
-        st.unroll(rci)
-
-    # leaf order: ffo, yy, xxo | rco, xxi, ffi, rci, ry, rx
-    data_outer = [ax for ax in st.data_axes if ax not in (ffi, xxi)]
-    reduce_outer = [ax for ax in st.reduce_axes if ax is not rci]
-    inner = [ax for ax in (xxi, ffi, rci) if ax is not None]
-    order = data_outer + [reduce_outer[0]] + inner + reduce_outer[1:]
-    st.reorder(*order)
-    st.writeback_at(data_outer[-1])
-    st.cache_read(st.op.inputs[0])
-    st.cache_read(st.op.inputs[1])
-    return sch
+    return conv1x1_opt_recipe(tiling).apply(sch)

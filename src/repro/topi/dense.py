@@ -15,6 +15,7 @@ from typing import Dict, Tuple
 import repro.ir as ir
 from repro.schedule import Schedule, create_schedule
 from repro.topi.common import DenseSpec, make_activation
+from repro.topi.recipes import dense_naive_recipe, dense_opt_recipe
 
 
 def dense_tensors(spec: DenseSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
@@ -49,17 +50,9 @@ def dense_tensors(spec: DenseSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.
 
 def schedule_dense_naive(out: ir.Tensor) -> Schedule:
     """Listing 5.5: scalar dot product accumulated in global memory."""
-    return create_schedule(out)
+    return dense_naive_recipe().apply(create_schedule(out))
 
 
 def schedule_dense_opt(out: ir.Tensor, unroll_factor: int) -> Schedule:
     """Listing 5.6: strip-mine the reduction, unroll, register-cache."""
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    (k,) = st.reduce_axes
-    st.cache_write("register")
-    if unroll_factor > 1:
-        ko, ki = st.split(k, unroll_factor)
-        st.unroll(ki)
-    st.cache_read(st.op.inputs[0])  # input vector fits in BRAM
-    return sch
+    return dense_opt_recipe(unroll_factor).apply(create_schedule(out))

@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 import repro.ir as ir
 from repro.schedule import Schedule, create_schedule
 from repro.topi.common import ConvSpec, ConvTiling, make_activation
+from repro.topi.recipes import depthwise_naive_recipe, depthwise_opt_recipe
 
 
 def depthwise_tensors(spec: ConvSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
@@ -59,37 +60,9 @@ def depthwise_tensors(spec: ConvSpec, name: str) -> Tuple[Dict[str, ir.Tensor], 
 
 def schedule_depthwise_naive(out: ir.Tensor, auto_unroll_ff: bool = False) -> Schedule:
     """Default schedule: global scratch over (yy, xx), writeback at cc."""
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    cc, yy, xx = st.data_axes
-    st.writeback_at(cc)
-    if auto_unroll_ff:
-        ry, rx = st.reduce_axes
-        st.unroll(ry)
-        st.unroll(rx)
-    return sch
+    return depthwise_naive_recipe(auto_unroll_ff).apply(create_schedule(out))
 
 
 def schedule_depthwise_opt(out: ir.Tensor, tiling: ConvTiling) -> Schedule:
     """Optimized schedule: tile W2 by ``w2vec``, unroll FxF, register cache."""
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    cc, yy, xx = st.data_axes
-    ry, rx = st.reduce_axes
-    st.cache_write("register")
-    if tiling.w2vec > 1:
-        xxo, xxi = st.split(xx, tiling.w2vec)
-        st.unroll(xxi)
-        wb = xxo
-        # xxi inside the reduction: cc, yy, xxo, xxi, ry, rx is already the
-        # leaf order after split; move xxi after nothing (region starts at
-        # xxi which is fine: tile axis precedes reduce axes)
-    else:
-        wb = xx
-    if tiling.unroll_ff:
-        st.unroll(ry)
-        st.unroll(rx)
-    st.writeback_at(wb)
-    st.cache_read(st.op.inputs[0])
-    st.cache_read(st.op.inputs[1])
-    return sch
+    return depthwise_opt_recipe(tiling).apply(create_schedule(out))

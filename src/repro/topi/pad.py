@@ -15,6 +15,7 @@ from typing import Dict, Tuple
 
 import repro.ir as ir
 from repro.schedule import Schedule, create_schedule
+from repro.topi.recipes import transform_recipe
 
 
 def pad_tensors(
@@ -60,4 +61,4 @@ def flatten_tensors(c: int, h: int, w: int, name: str) -> Tuple[Dict[str, ir.Ten
 
 def schedule_transform(out: ir.Tensor) -> Schedule:
     """Transforms are never unrolled (thesis Table 4.1)."""
-    return create_schedule(out)
+    return transform_recipe().apply(create_schedule(out))

@@ -14,6 +14,7 @@ import repro.ir as ir
 from repro.errors import ScheduleError
 from repro.schedule import Schedule, create_schedule
 from repro.topi.common import PoolSpec
+from repro.topi.recipes import pool_naive_recipe, pool_opt_recipe
 
 
 def pool_tensors(spec: PoolSpec, name: str) -> Tuple[Dict[str, ir.Tensor], ir.Tensor]:
@@ -65,15 +66,9 @@ def gap_tensors(c: int, h: int, w: int, name: str) -> Tuple[Dict[str, ir.Tensor]
 
 def schedule_pool_naive(out: ir.Tensor) -> Schedule:
     """Default schedule: per-element reduction in a global scratchpad."""
-    return create_schedule(out)
+    return pool_naive_recipe().apply(create_schedule(out))
 
 
 def schedule_pool_opt(out: ir.Tensor) -> Schedule:
     """Unroll the pooling window, register-cache the reduction."""
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    st.cache_write("register")
-    for ax in st.reduce_axes:
-        if ax.static_extent is not None and ax.static_extent <= 16:
-            st.unroll(ax)
-    return sch
+    return pool_opt_recipe(out).apply(create_schedule(out))

@@ -23,6 +23,7 @@ from repro.errors import ScheduleError
 from repro.ir import expr as _e
 from repro.schedule import Schedule, create_schedule
 from repro.topi.common import ConvTiling, make_activation
+from repro.topi.recipes import symbolic_conv_recipe
 
 
 @dataclass
@@ -259,48 +260,7 @@ def schedule_symbolic_conv(
 ) -> Schedule:
     """Tile/unroll a parameterized conv: inner tiles are static, so they
     unroll; outer loops keep symbolic trip counts (§5.3)."""
-    sch = create_schedule(out)
-    st = sch.stages[0]
-    data = st.data_axes
-    reduce_axes = st.reduce_axes
-    st.cache_write("register")
-
-    ffi = xxi = rci = None
-    ff, yy, xx = data
-    if is_1x1 and tiling.c2vec > 1:
-        _, ffi = st.split(ff, tiling.c2vec)
-        st.unroll(ffi)
-    if tiling.w2vec > 1:
-        xxo, xxi = st.split(xx, tiling.w2vec)
-        st.unroll(xxi)
-        wb = xxo
-    else:
-        wb = xx
-    # depthwise convs have no channel reduction
-    rc = reduce_axes[0] if len(reduce_axes) == 3 else None
-    if rc is not None and tiling.c1vec > 1:
-        _, rci = st.split(rc, tiling.c1vec)
-        st.unroll(rci)
-    if tiling.unroll_ff:
-        for ax in st.reduce_axes:
-            if ax.static_extent is not None and ax not in (rci,):
-                st.unroll(ax)
-
-    # order: data outers, reduce outers, then unrolled tiles, then FxF
-    data_order = [ax for ax in st.data_axes if ax not in (ffi, xxi)]
-    reduce_outer = [
-        ax for ax in st.reduce_axes if ax is not rci and ax.static_extent is None
-    ]
-    ff_axes = [
-        ax for ax in st.reduce_axes if ax.static_extent is not None and ax is not rci
-    ]
-    inner = [ax for ax in (xxi, ffi, rci) if ax is not None]
-    if reduce_outer:
-        order = data_order + reduce_outer + inner + ff_axes
-    else:
-        order = data_order + inner + ff_axes
-    st.reorder(*order)
-    st.writeback_at(data_order[-1])
-    st.cache_read(st.op.inputs[0])
-    st.cache_read(st.op.inputs[1])
-    return sch
+    depthwise = len(out.op.reduce_axes) != 3
+    return symbolic_conv_recipe(tiling, is_1x1, depthwise=depthwise).apply(
+        create_schedule(out)
+    )

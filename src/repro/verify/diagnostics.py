@@ -72,6 +72,11 @@ class Diagnostic:
     kernel: str = ""
     #: finer location: loop var, buffer, channel or source line
     location: str = ""
+    #: machine-readable fix the auto-scheduler can apply: a dict naming
+    #: a schedule transform (``{"transform": "cache_write", ...}``) or a
+    #: tiling adjustment (``{"transform": "shrink", "dim": ...}``);
+    #: ``None`` when the finding has no mechanical rewrite
+    fix: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         assert self.rule in RULES, f"unknown rule {self.rule!r}"
@@ -148,6 +153,7 @@ class VerifyReport:
                     "kernel": d.kernel,
                     "location": d.location,
                     "message": d.message,
+                    "fix": d.fix,
                 }
                 for d in self.diagnostics
             ],

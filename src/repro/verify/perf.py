@@ -18,7 +18,7 @@ build; the catalog of fixes lives in ``docs/schedule_cookbook.md``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.aoc.analysis import Bindings, KernelAnalysis
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
@@ -66,12 +66,16 @@ def check_perf(
     report.bump("perf_kernels")
     emitted: Set[Tuple[str, str]] = set()
 
-    def advise(rule: str, location: str, message: str) -> None:
+    def advise(
+        rule: str, location: str, message: str,
+        fix: Optional[Dict[str, object]] = None,
+    ) -> None:
         if (rule, location) in emitted:
             return
         emitted.add((rule, location))
         report.extend([
-            Diagnostic(rule, "advice", message, kernel.name, location)
+            Diagnostic(rule, "advice", message, kernel.name, location,
+                       fix=fix)
         ])
 
     _check_ii(an, advise)
@@ -100,6 +104,8 @@ def _check_ii(an: KernelAnalysis, advise) -> None:
                 f"dependence re-read every iteration; cache the "
                 f"accumulator in a register (cache_write('register'), "
                 f"thesis §5.1.1) and write back once after the loop",
+                fix={"transform": "cache_write",
+                     "args": {"scope": "register"}},
             )
         else:
             advise(
@@ -108,6 +114,7 @@ def _check_ii(an: KernelAnalysis, advise) -> None:
                 f"for '{buf}' contend in the memory arbiter; make the "
                 f"unrolled dimension's stride a compile-time constant so "
                 f"the streams coalesce into one wide LSU",
+                fix={"transform": "shrink", "dim": "c1vec"},
             )
 
 
@@ -140,6 +147,7 @@ def _check_lsus(an: KernelAnalysis, board: Board, advise) -> None:
                 f"drops (~{int(100 * an.c.bw_efficiency_nonaligned)}% of "
                 f"peak vs ~{int(100 * an.c.bw_efficiency_aligned)}%); pin "
                 f"the innermost stride to 1 (pin_unit_stride, Listing 5.11)",
+                fix={"transform": "pin_unit_stride"},
             )
     for lsu in an.lsus:
         if lsu.width_elems > roof:
@@ -150,6 +158,7 @@ def _check_lsus(an: KernelAnalysis, board: Board, advise) -> None:
                 f"memory feeds only ~{roof} elements/cycle at "
                 f"{board.base_fmax_mhz:.0f} MHz; the extra width only "
                 f"adds logic — reduce the unroll along this dimension",
+                fix={"transform": "shrink", "dim": "widest"},
             )
 
 
@@ -185,6 +194,8 @@ def _check_reuse(
                 f"{constants.lsu_cache_bytes} B LSU cache{shown}, so the "
                 f"re-reads go to DRAM; tile the reuse loop or stage a "
                 f"block in local memory (cache_read)",
+                fix={"transform": "cache_read",
+                     "input": site.buffer.name},
             )
             break
 
@@ -224,6 +235,7 @@ def _check_roofline(
                 f"{board.base_fmax_mhz:.0f} MHz; more unrolling cannot "
                 f"help — reduce traffic (cache reuse, fuse the epilogue) "
                 f"or pick a board with more bandwidth",
+                fix={"transform": "shrink", "dim": "widest"},
             )
             break
     report.bump(

@@ -164,6 +164,52 @@ class TestReorderAndWriteback:
         xo, xi = st.split(x, 4)
         assert st.writeback_axis is xo
 
+    def test_reorder_interleaves_data_and_reduce(self):
+        # the Listing 5.3 move: an unrolled data axis inside the reduction
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        (rc,) = st.reduce_axes
+        st.reorder(f, y, rc, x)
+        assert st.leaf_axes == [f, y, rc, x]
+
+    def test_reorder_after_split_mixes_children_and_reduce(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        (rc,) = st.reduce_axes
+        xo, xi = st.split(x, 4)
+        st.reorder(f, y, xo, rc, xi)
+        assert st.leaf_axes == [f, y, xo, rc, xi]
+        # substitution still reconstructs the parent from its children
+        sub = st.substitution()
+        val = ir.eval_int(sub[x.var], {xo.var: 1, xi.var: 3})
+        assert val == 7
+
+    def test_writeback_at_then_split_region_axis(self):
+        # splitting an axis *inside* the writeback region keeps both
+        # children in the region, in nest order
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        st.writeback_at(f)
+        yo, yi = st.split(y, 2)
+        outer, region = st.outer_and_region()
+        assert outer == [f]
+        assert [ax.name for ax in region] == [yo.name, yi.name, x.name, "rc"]
+
+    def test_writeback_tracks_chained_splits(self):
+        sch = create_schedule(self._conv3())
+        st = sch.stages[0]
+        f, y, x = st.data_axes
+        st.writeback_at(x)
+        xo, xi = st.split(x, 4)
+        xoo, xoi = st.split(xo, 2)
+        assert st.writeback_axis is xoo
+        outer, region = st.outer_and_region()
+        assert outer[-1] is xoo
+        assert xoi in region and xi in region
+
 
 class TestTile:
     def test_tile_order(self):

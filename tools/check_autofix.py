@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Autofix convergence gate: the auto-scheduler must converge on every build.
+
+The CI ``autofix`` job runs this over the shipped network x board
+matrix.  For each pair it runs the advise->rewrite loop of
+``repro.flow.autofix`` (no synthesis) and asserts the contract of the
+auto-scheduler:
+
+* the loop reaches an advice-clean fixpoint **or** a provably-stuck
+  report (``stuck_reason == 'blocked'`` with at least one blocking
+  finding carrying a reason) — never a cycle, an iteration-limit bail,
+  or a verify error;
+* for folded builds, the final recipes serialized to JSON rebuild a
+  bit-identical generated source through ``recipe_overrides``
+  (``roundtrip_ok``).
+
+Usage::
+
+    python tools/check_autofix.py                 # all pairs
+    python tools/check_autofix.py mobilenet_v1:A10  # a subset
+
+Exit status: 0 when every checked pair converges, 1 on any violation or
+build failure, 2 on a bad spec.  Stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: the shipped matrix the CI autofix job covers
+SPECS = [
+    f"{network}:{board}"
+    for network in ("lenet5", "mobilenet_v1", "resnet18")
+    for board in ("S10MX", "S10SX", "A10")
+]
+
+
+def check(spec: str) -> List[str]:
+    """Contract violations for one build (empty = converged)."""
+    from repro.device import board_by_name
+    from repro.flow.autofix import autofix_network
+
+    network, board = spec.split(":")
+    result = autofix_network(network, board_by_name(board))
+    problems: List[str] = []
+    if result.status == "clean":
+        pass
+    elif result.status == "stuck" and result.stuck_reason == "blocked":
+        if not result.blocked:
+            problems.append("stuck/blocked without any blocking finding")
+        for b in result.blocked:
+            if not b.reason:
+                problems.append(
+                    f"blocking finding [{b.rule}] {b.kernel} has no reason"
+                )
+    else:
+        problems.append(
+            f"did not converge: status={result.status} "
+            f"stuck_reason={result.stuck_reason}"
+        )
+    if result.mode == "folded" and result.roundtrip_ok is not True:
+        problems.append(
+            f"serialized recipes did not rebuild a bit-identical source "
+            f"(roundtrip_ok={result.roundtrip_ok})"
+        )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    specs = [a for a in argv if not a.startswith("--")] or SPECS
+    for spec in specs:
+        if spec not in SPECS:
+            print(f"unknown spec {spec!r}; choose from: {', '.join(SPECS)}")
+            return 2
+
+    status = 0
+    for spec in specs:
+        try:
+            problems = check(spec)
+        except Exception as e:  # build failure is a gate failure, not a crash
+            print(f"{spec}: FAIL ({e})")
+            status = 1
+            continue
+        if problems:
+            for p in problems:
+                print(f"{spec}: {p}")
+            status = 1
+        else:
+            print(f"{spec}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -19,6 +19,11 @@ One entry point for every source-hygiene check the CI lint job runs:
   rule IDs), and the union of all module tables must equal the central
   registry.  An analyzer emitting an ID missing from its own table — or
   claiming an ID no module emits and no registry entry backs — fails.
+* ``recipe catalog sync`` — every schedule transform registered in
+  ``repro.schedule.transforms.CATALOG`` must be documented in the
+  transform catalog of ``docs/schedules.md`` (a ``` `op(...)` ```
+  heading per transform), and every transform documented there must
+  exist in the catalog.
 
 Exit status is unified: 0 when every check is clean, 1 when any check
 reports findings.  Run as ``python tools/lint.py`` from the repository
@@ -127,6 +132,50 @@ def check_analyzer_rules() -> int:
     return 1 if findings else 0
 
 
+#: a catalog entry line in docs/schedules.md: ``- `op(...)` — ...``
+TRANSFORM_DOC = re.compile(r"^- `([a-z_]+)\(", re.MULTILINE)
+
+
+def _catalog_section(text: str) -> str:
+    """The ``## Transform catalog`` section of docs/schedules.md."""
+    m = re.search(r"^## Transform catalog$(.*?)(?=^## |\Z)", text,
+                  re.MULTILINE | re.DOTALL)
+    return m.group(1) if m else ""
+
+
+def check_recipe_catalog() -> int:
+    """docs/schedules.md and schedule.transforms.CATALOG agree exactly."""
+    from repro.schedule.transforms import CATALOG
+
+    doc_path = ROOT / "docs" / "schedules.md"
+    findings = []
+    if not doc_path.exists():
+        findings.append(
+            f"{doc_path}: missing (the transform catalog lives there)"
+        )
+    else:
+        section = _catalog_section(doc_path.read_text())
+        if not section:
+            findings.append(
+                f"{doc_path}: no '## Transform catalog' section found"
+            )
+        documented = set(TRANSFORM_DOC.findall(section))
+        for op in sorted(set(CATALOG) - documented):
+            findings.append(
+                f"{doc_path}: transform {op!r} is registered in "
+                "repro.schedule.transforms.CATALOG but not documented"
+            )
+        for op in sorted(documented - set(CATALOG)):
+            findings.append(
+                f"{doc_path}: transform {op!r} is documented but not "
+                "registered in repro.schedule.transforms.CATALOG"
+            )
+    for f in findings:
+        print(f)
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 def main() -> int:
     status = 0
     for title, check in [
@@ -134,6 +183,7 @@ def main() -> int:
         ("docstring lint", lint_docstrings.main),
         ("verifier rule catalog", check_rule_catalog),
         ("analyzer RULES sync", check_analyzer_rules),
+        ("recipe catalog sync", check_recipe_catalog),
     ]:
         print(f"== {title} ==")
         status |= check()
