@@ -1,0 +1,153 @@
+"""Chaos-mode serving soak — replica churn with a zero-loss contract.
+
+Extension beyond the thesis: the serving layer replays one deterministic
+request trace twice — once fault-free, once under the canonical serving
+chaos plan (``repro.serve.lifecycle.chaos_plan``), which kills two
+replicas mid-trace (one of them with a batch in flight), trips the
+circuit breaker with repeated submission rejects, crashes one batch
+mid-service and hangs another for the serving watchdog to catch.  The
+ISSUE-7 acceptance criteria asserted here: the chaos run completes the
+full trace with logits **bit-identical** to the fault-free run, its p99
+latency stays within 3x the fault-free p99, no request is ever stuck,
+and every lifecycle transition (SUSPECT, breaker DRAINING, DEAD,
+REPROVISIONING, requeues) is visible in both the resilience event log
+and the :class:`~repro.serve.metrics.ServeMetrics` health timeline.
+
+The fault plan seed comes from ``REPRO_FAULT_SEED`` when set (the CI
+chaos-soak job matrixes over seeds), proving recovery — and the served
+numerics — are seed-independent.
+"""
+
+import os
+
+import numpy as np
+from conftest import fmt_table, save_table
+
+from repro.device import STRATIX10_SX
+from repro.pipeline import CompileCache
+from repro.resilience import FAULT_SEED_ENV, LifecycleConfig
+from repro.serve import (
+    DEAD,
+    DRAINING,
+    REPROVISIONING,
+    SUSPECT,
+    RequestTrace,
+    ServeConfig,
+    Server,
+    chaos_plan,
+    provision_replicas,
+)
+
+NETWORK = "lenet5"
+SHAPE = (1, 28, 28)
+N_REPLICAS = 3
+N_REQUESTS = 240
+RATE_RPS = 2500.0
+
+LIFECYCLE = LifecycleConfig(
+    breaker_failures=2, retry_budget=3, reprovision_us=2000.0, max_refills=1
+)
+
+
+def _trace():
+    return RequestTrace.poisson(
+        NETWORK, N_REQUESTS, rate_rps=RATE_RPS, shape=SHAPE, seed=3
+    )
+
+
+def _server(cache):
+    pool = provision_replicas(NETWORK, STRATIX10_SX, N_REPLICAS, cache=cache)
+    cfg = ServeConfig(
+        window_us=300.0, max_batch=8, max_queue=10**6, lifecycle=LIFECYCLE
+    )
+    return Server(pool, cfg, cache=cache)
+
+
+def _run_soak():
+    seed = int(os.environ.get(FAULT_SEED_ENV, "0") or "0")
+    cache = CompileCache()
+    trace = _trace()
+    baseline = _server(cache).run(trace)
+    with chaos_plan(NETWORK, N_REPLICAS, seed=seed) as plan:
+        chaos = _server(cache).run(trace)
+    return trace, baseline, chaos, plan, seed
+
+
+def test_chaos_soak_zero_loss_and_bounded_latency(benchmark):
+    trace, baseline, chaos, plan, seed = benchmark.pedantic(
+        _run_soak, rounds=1, iterations=1
+    )
+    base_m, m = baseline.metrics, chaos.metrics
+
+    # the plan actually did its worst: every fault fired
+    assert plan.remaining() == 0, f"unfired faults remain: {plan}"
+    died_at_dispatch = {
+        e["data"].get("replica") for e in chaos.events
+        if e["kind"] == "dead" and "submission" in e["detail"]
+    }
+    died_in_flight = {
+        e["data"].get("replica") for e in chaos.events
+        if e["kind"] == "dead" and "in flight" in e["detail"]
+    }
+    assert died_in_flight, "no replica was killed with a batch in flight"
+    assert len(died_at_dispatch | died_in_flight) >= 2, (
+        "fewer than 2 replicas were killed mid-trace"
+    )
+
+    # zero loss: the full trace completes, nothing is stuck or rejected
+    assert m.completed == len(trace) == base_m.completed
+    assert m.rejected == 0
+    answered = {r.rid for r in chaos.responses}
+    assert answered == {r.rid for r in trace}, "stuck requests detected"
+
+    # bit-identical logits, response by response
+    for got, want in zip(chaos.responses, baseline.responses):
+        assert got.rid == want.rid
+        assert np.array_equal(got.logits, want.logits), (
+            f"request {got.rid}: logits diverged under chaos"
+        )
+
+    # bounded degradation: p99 within 3x of the fault-free p99
+    p99_ratio = m.latency_us["p99"] / base_m.latency_us["p99"]
+    assert p99_ratio <= 3.0, f"chaos p99 is {p99_ratio:.2f}x fault-free"
+
+    # every lifecycle transition is observable in events AND metrics
+    event_kinds = {e["kind"] for e in chaos.events}
+    assert {"suspect", "breaker", "dead", "reprovision", "refill",
+            "requeue"} <= event_kinds
+    timeline_states = {
+        t["state"] for r in m.per_replica for t in r.timeline
+    }
+    assert {SUSPECT, DRAINING, DEAD, REPROVISIONING} <= timeline_states
+    assert m.breaker_trips >= 1
+    assert m.deaths >= 2
+    assert m.refills >= 1
+    assert m.requeues >= 1
+    assert m.watchdog_trips >= 1
+    assert 0.0 < m.availability < 1.0
+    assert base_m.availability == 1.0
+
+    # determinism: replaying the same chaos yields the same fingerprint
+    cache = CompileCache()
+    with chaos_plan(NETWORK, N_REPLICAS, seed=seed):
+        replay = _server(cache).run(_trace())
+    assert replay.fingerprint() == chaos.fingerprint()
+
+    rows = [
+        ["fault-free", f"{base_m.throughput_rps:.0f}",
+         f"{base_m.latency_us['p99'] / 1e3:.2f}",
+         base_m.deaths, base_m.refills, base_m.requeues,
+         f"{base_m.availability:.1%}"],
+        [f"chaos (seed {seed})", f"{m.throughput_rps:.0f}",
+         f"{m.latency_us['p99'] / 1e3:.2f}",
+         m.deaths, m.refills, m.requeues, f"{m.availability:.1%}"],
+    ]
+    text = fmt_table(
+        f"Chaos soak - {NETWORK} on {N_REPLICAS}x S10SX "
+        f"({N_REQUESTS} requests, {len(plan.fired)} faults, "
+        f"p99 ratio {p99_ratio:.2f}x, logits bit-identical)",
+        ["run", "req/s", "p99 ms", "deaths", "refills", "requeues",
+         "availability"],
+        rows,
+    )
+    save_table("serving_chaos", text)

@@ -111,6 +111,13 @@ class KernelAnalysis:
         self._assign_mem_ii()
         self._cycles_cache: Dict[Tuple[Tuple[str, int], ...], int] = {}
 
+    def __reduce__(self):
+        # ``loops`` is keyed by id(stmt), which does not survive a
+        # pickle round-trip (the persistent compile cache); re-analyze
+        # from (kernel, constants) — deterministic and cheap — instead
+        # of restoring stale ids.
+        return (KernelAnalysis, (self.kernel, self.c))
+
     # ------------------------------------------------------------------
     # collection
     def _walk(

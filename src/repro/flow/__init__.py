@@ -13,6 +13,7 @@ from repro.flow.deploy import (
     Deployment,
     ResilientDeployment,
     RungAttempt,
+    build_rung,
     default_folded_config,
     deploy_folded,
     deploy_pipelined,
@@ -65,7 +66,8 @@ __all__ = [
     "FoldedConfig",
     "FoldedSchedule", "LEVELS", "MOBILENET_1X1_TILINGS", "MODELS",
     "PipelinedSchedule", "ScheduledKernel", "SweepSummary",
-    "bandwidth_roof_elems", "build_folded", "build_pipelined", "choose_tiling",
+    "bandwidth_roof_elems", "build_folded", "build_pipelined", "build_rung",
+    "choose_tiling",
     "default_folded_config", "deploy_folded", "deploy_pipelined", "divides_all",
     "evaluate_tiling", "explore_conv1x1", "folded_flow", "lower_folded",
     "lower_pipelined", "op_label", "pipelined_flow", "plan_folded",

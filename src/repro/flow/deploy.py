@@ -240,6 +240,41 @@ def deploy_folded(
     )
 
 
+def build_rung(
+    network: str,
+    board: Board,
+    mode: str,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+    cache: CacheOption = None,
+    level: str = "tvm_autorun",
+) -> Deployment:
+    """Build one deployment on the named device rung.
+
+    The single-rung builder behind replica provisioning *and* replica
+    refill (:mod:`repro.serve.replica`): ``mode`` is ``'pipelined'`` or
+    ``'folded'``, and both routes share the compile cache passed in, so
+    a refilled replica reuses the pool's synthesized bitstream when its
+    build is unchanged.
+    """
+    if mode == "pipelined":
+        return deploy_pipelined(
+            network, board, level=level, constants=constants, cache=cache
+        )
+    if mode == "folded":
+        try:
+            config = default_folded_config(network, board)
+        except ReproError:
+            # no thesis tiling table (LeNet-class networks): the generic
+            # folded config still builds them
+            config = FoldedConfig()
+        return deploy_folded(
+            network, board, config=config, constants=constants, cache=cache
+        )
+    raise ReproError(
+        f"unknown device rung {mode!r}; choose 'pipelined' or 'folded'"
+    )
+
+
 # ---------------------------------------------------------------------------
 # graceful degradation: the resilient deployment ladder
 
@@ -353,22 +388,10 @@ class DegradationLadder:
         if mode in self._build_errors:
             raise self._build_errors[mode]
         try:
-            if mode == "pipelined":
-                dep = deploy_pipelined(
-                    self.network, self.board, level=self.level,
-                    constants=self.constants, cache=self.cache,
-                )
-            else:
-                try:
-                    config = default_folded_config(self.network, self.board)
-                except ReproError:
-                    # LeNet-class networks have no thesis tiling table;
-                    # the generic folded config still builds them
-                    config = FoldedConfig()
-                dep = deploy_folded(
-                    self.network, self.board, config=config,
-                    constants=self.constants, cache=self.cache,
-                )
+            dep = build_rung(
+                self.network, self.board, mode, constants=self.constants,
+                cache=self.cache, level=self.level,
+            )
         except ReproError as err:
             self._build_errors[mode] = err
             raise

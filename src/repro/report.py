@@ -432,6 +432,7 @@ def serve_demo(
     as_json: bool = False,
     overload: bool = False,
     n_requests: int = 48,
+    chaos: Optional[int] = None,
 ) -> int:
     """Run the serving simulation and print its metrics.
 
@@ -440,13 +441,27 @@ def serve_demo(
     The demo drives a Poisson trace at ~85% of the pool's aggregate
     capacity; with ``overload`` the rate quadruples against a short
     admission queue, so requests shed to the CPU rung (watch the
-    ``shed`` events under the table).
+    ``shed`` events under the table).  With ``chaos`` (a fault-plan
+    seed) the trace replays under the canonical serving chaos plan —
+    replicas die mid-trace, batches crash and hang, the breaker trips —
+    and the demo proves the recovery contract: every request answered,
+    logits bit-identical to a fault-free run.  Exits 1 if the contract
+    is violated.
     """
     import json
 
+    import numpy as np
+
     from repro.device import ALL_BOARDS, board_by_name
     from repro.flow.stages import MODELS
-    from repro.serve import RequestTrace, ServeConfig, Server, provision_replicas
+    from repro.resilience import LifecycleConfig
+    from repro.serve import (
+        RequestTrace,
+        ServeConfig,
+        Server,
+        chaos_plan,
+        provision_replicas,
+    )
 
     parts = spec.split(":")
     network = parts[0]
@@ -470,12 +485,38 @@ def serve_demo(
     per_image_us = replicas[0].service_us(1)
     capacity_rps = n_replicas * 1e6 / per_image_us
     rate = capacity_rps * (3.4 if overload else 0.85)
-    config = ServeConfig(max_queue=8 if overload else 64)
+    config = ServeConfig(
+        max_queue=8 if overload else 64,
+        lifecycle=LifecycleConfig(reprovision_us=5000.0)
+        if chaos is not None else None,
+    )
     shape = MODELS[network]().input.out_shape
     trace = RequestTrace.poisson(
         network, n_requests, rate_rps=rate, shape=shape, seed=0
     )
-    result = Server(replicas, config).run(trace)
+    chaos_report: Optional[Dict[str, object]] = None
+    if chaos is not None:
+        baseline = Server(
+            provision_replicas(network, board, n_replicas), config
+        ).run(trace)
+        with chaos_plan(network, n_replicas, seed=chaos) as plan:
+            result = Server(replicas, config).run(trace)
+        answered = {r.rid for r in result.responses}
+        stuck = sorted(r.rid for r in trace if r.rid not in answered)
+        logits_identical = all(
+            (a.logits is None) == (b.logits is None)
+            and (a.logits is None or np.array_equal(a.logits, b.logits))
+            for a, b in zip(result.responses, baseline.responses)
+        )
+        chaos_report = {
+            "seed": chaos,
+            "faults_fired": len(plan.fired),
+            "stuck_requests": stuck,
+            "logits_identical": logits_identical,
+            "ok": not stuck and logits_identical and bool(plan.fired),
+        }
+    else:
+        result = Server(replicas, config).run(trace)
     if as_json:
         payload = {
             "spec": {"network": network, "board": board.name,
@@ -484,19 +525,32 @@ def serve_demo(
             "metrics": result.metrics.to_dict(),
             "events": result.events,
         }
+        if chaos_report is not None:
+            payload["chaos"] = chaos_report
         out.write(json.dumps(payload, indent=2) + "\n")
-        return 0
+        return 0 if chaos_report is None or chaos_report["ok"] else 1
     out.write(
         f"serving {network} on {n_replicas}x {board.name} — "
         f"{n_requests} requests, Poisson at {rate:.1f} req/s "
         f"(pool capacity ~{capacity_rps:.1f} req/s)"
-        + (" [overload]" if overload else "") + "\n\n"
+        + (" [overload]" if overload else "")
+        + (f" [chaos seed {chaos}]" if chaos is not None else "") + "\n\n"
     )
     out.write(result.metrics.format_table() + "\n")
     if result.events:
         out.write("\nserving events:\n")
         for e in result.events:
             out.write(f"  [{e['kind']:>10}] {e['detail']}\n")
+    if chaos_report is not None:
+        verdict = "PASS" if chaos_report["ok"] else "FAIL"
+        out.write(
+            f"\nchaos soak [{verdict}]: {chaos_report['faults_fired']} "
+            f"fault(s) fired, {len(chaos_report['stuck_requests'])} stuck "
+            f"request(s), logits "
+            f"{'bit-identical to' if chaos_report['logits_identical'] else 'DIVERGED from'}"
+            f" the fault-free run\n"
+        )
+        return 0 if chaos_report["ok"] else 1
     return 0
 
 
@@ -536,6 +590,11 @@ flags:
                           short admission queue (requests shed to the
                           CPU rung)
   --requests N            request count for --serve (default 48)
+  --chaos SEED            replay --serve under the seeded serving chaos
+                          plan (replica deaths, batch crashes, hangs);
+                          verifies every request is answered with
+                          logits bit-identical to a fault-free run and
+                          exits 1 otherwise
   --help                  this message
 """
 
@@ -580,9 +639,17 @@ def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
             except (IndexError, ValueError):
                 out.write(USAGE)
                 return 2
+        chaos = None
+        if "--chaos" in rest:
+            try:
+                chaos = int(rest[rest.index("--chaos") + 1])
+            except (IndexError, ValueError):
+                out.write(USAGE)
+                return 2
         return serve_demo(
             args[1], out, as_json="--json" in rest,
             overload="--overload" in rest, n_requests=n_requests,
+            chaos=chaos,
         )
     if args:
         out.write(USAGE)

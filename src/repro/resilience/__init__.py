@@ -7,7 +7,9 @@ This package makes every one of those failures (a) injectable, so the
 recovery paths are testable, and (b) recoverable:
 
 * :class:`FaultPlan` / :class:`Fault` — seeded, deterministic fault
-  injection at the flow's real failure boundaries;
+  injection at the flow's real failure boundaries, including the
+  serving-time sites (``dispatch`` / ``run_batch`` / ``replica``)
+  driving the replica health lifecycle in :mod:`repro.serve.lifecycle`;
 * :func:`retry` / :class:`RetryPolicy` — exponential backoff with
   deterministic jitter on a virtual clock (no wall sleeping);
 * :func:`synthesize_resilient` — transient-retry + placement-seed sweep
@@ -24,6 +26,7 @@ See ``docs/resilience.md`` for the fault taxonomy and policy knobs.
 """
 
 from repro.resilience.config import (
+    LifecycleConfig,
     ResilienceConfig,
     configured,
     current_config,
@@ -32,6 +35,7 @@ from repro.resilience.config import (
 from repro.resilience.events import ResilienceEvent, ResilienceLog, log, record
 from repro.resilience.faults import (
     FAULT_SEED_ENV,
+    KNOWN_SITES,
     Fault,
     FaultPlan,
     active_plan,
@@ -47,9 +51,10 @@ from repro.resilience.synth import synthesize_resilient
 from repro.resilience.watchdog import ChannelWait, ChannelWaitGraph, Watchdog
 
 __all__ = [
-    "FAULT_SEED_ENV", "ChannelWait", "ChannelWaitGraph", "Fault", "FaultPlan",
-    "ResilienceConfig", "ResilienceEvent", "ResilienceLog", "RetryPolicy",
-    "VirtualClock", "Watchdog", "active_plan", "backoff_schedule",
-    "configured", "current_config", "log", "probe", "record", "retry",
-    "set_config", "synthesize_resilient",
+    "FAULT_SEED_ENV", "KNOWN_SITES", "ChannelWait", "ChannelWaitGraph",
+    "Fault", "FaultPlan", "LifecycleConfig", "ResilienceConfig",
+    "ResilienceEvent", "ResilienceLog", "RetryPolicy", "VirtualClock",
+    "Watchdog", "active_plan", "backoff_schedule", "configured",
+    "current_config", "log", "probe", "record", "retry", "set_config",
+    "synthesize_resilient",
 ]

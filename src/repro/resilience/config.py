@@ -14,9 +14,53 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.errors import ReproError
 from repro.resilience.retry import RetryPolicy
 
-__all__ = ["ResilienceConfig", "current_config", "set_config", "configured"]
+__all__ = [
+    "LifecycleConfig",
+    "ResilienceConfig",
+    "current_config",
+    "set_config",
+    "configured",
+]
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Serving-time replica health policy (see docs/serving.md).
+
+    Drives the per-replica state machine in
+    :mod:`repro.serve.lifecycle`: HEALTHY -> SUSPECT -> DRAINING ->
+    DEAD -> REPROVISIONING -> HEALTHY.  Lives here (not in the serving
+    package) so ``configured(lifecycle=...)`` scopes it like every other
+    recovery knob.
+    """
+
+    #: consecutive failures that trip the circuit breaker and take the
+    #: replica out of the dispatch rotation (DRAINING)
+    breaker_failures: int = 2
+    #: times one request may be requeued after batch failures before it
+    #: is shed to the CPU sideline (guarantees no request is ever stuck)
+    retry_budget: int = 3
+    #: virtual time one refill (re-provisioning a dead replica) takes, us
+    reprovision_us: float = 100_000.0
+    #: refills granted per replica per server run; an exhausted replica
+    #: stays DEAD and the pool falls toward the CPU rung
+    max_refills: int = 1
+    #: per-batch service-time bound the serving watchdog enforces, us —
+    #: a dispatch whose modeled service exceeds it is declared hung
+    batch_budget_us: float = 5e6
+
+    def __post_init__(self) -> None:
+        if self.breaker_failures < 1:
+            raise ReproError("breaker_failures must be >= 1")
+        if self.retry_budget < 0 or self.max_refills < 0:
+            raise ReproError("retry_budget and max_refills must be >= 0")
+        if self.reprovision_us < 0 or self.batch_budget_us <= 0:
+            raise ReproError(
+                "reprovision_us must be >= 0 and batch_budget_us > 0"
+            )
 
 
 @dataclass(frozen=True)
@@ -38,6 +82,8 @@ class ResilienceConfig:
     #: logits cross-check tolerance when verifying a deployment against
     #: the CPU functional reference
     crosscheck_atol: float = 1e-5
+    #: serving-time replica health lifecycle policy
+    lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
 
 
 _current = ResilienceConfig()

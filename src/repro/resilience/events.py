@@ -19,6 +19,7 @@ events.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -31,7 +32,9 @@ class ResilienceEvent:
 
     #: 'fault' | 'retry' | 'recovered' | 'giveup' | 'stall' | 'watchdog'
     #: | 'corruption' | 'crosscheck' | 'fallback' | 'served' | 'shed'
-    #: | 'reject'
+    #: | 'reject' — plus the serving lifecycle kinds 'suspect' |
+    #: 'breaker' | 'drain' | 'dead' | 'reprovision' | 'refill' |
+    #: 'requeue' (docs/serving.md)
     kind: str
     #: injection/recovery site ("synthesize", "enqueue.write", "channel",
     #: "device", "buffer", "ladder", "serve", ...)
@@ -54,6 +57,18 @@ class ResilienceEvent:
             "t_us": self.t_us,
             "data": dict(self.data),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ResilienceEvent":
+        """Inverse of :meth:`to_dict` (the serialization round-trip)."""
+        return cls(
+            kind=str(payload["kind"]),
+            site=str(payload["site"]),
+            detail=str(payload["detail"]),
+            attempt=int(payload.get("attempt", 0)),
+            t_us=float(payload.get("t_us", 0.0)),
+            data=dict(payload.get("data", {})),
+        )
 
 
 class ResilienceLog:
@@ -92,6 +107,26 @@ class ResilienceLog:
 
     def __len__(self) -> int:
         return len(self._events)
+
+    # -- serialization ---------------------------------------------------
+    def to_json(self, indent: int = 0) -> str:
+        """Serialize the retained events (cursors are not preserved)."""
+        return json.dumps(
+            [e.to_dict() for e in self._events], indent=indent or None
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResilienceLog":
+        """Rebuild a log from :meth:`to_json` output.
+
+        The reconstructed log starts at base 0: absolute cursors from
+        the original process are meaningless across a serialization
+        boundary, but events round-trip exactly.
+        """
+        restored = cls()
+        for payload in json.loads(text):
+            restored.record(ResilienceEvent.from_dict(payload))
+        return restored
 
 
 _LOG = ResilienceLog()

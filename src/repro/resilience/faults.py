@@ -4,11 +4,14 @@ A :class:`FaultPlan` is a context manager holding an ordered list of
 :class:`Fault` specs.  While active, the real failure boundaries of the
 flow *probe* the plan — ``compile_program`` probes ``synthesize``, the
 OpenCL host simulator probes ``enqueue.write`` / ``enqueue.read`` /
-``enqueue.kernel`` / ``channel`` / ``device``, and the functional
-executor probes ``buffer`` — and raise the corresponding failure when a
-fault fires.  Every recovery path (retry/backoff, placement-seed sweep,
-watchdog, degradation ladder) is therefore testable without touching any
-happy-path code.
+``enqueue.kernel`` / ``channel`` / ``device``, the functional executor
+probes ``buffer``, and the serving loop probes ``dispatch`` /
+``run_batch`` / ``replica`` (batch-submission failures, mid-service
+crashes and hangs, replica deaths — see :mod:`repro.serve.lifecycle`) —
+and raise or model the corresponding failure when a fault fires.  Every
+recovery path (retry/backoff, placement-seed sweep, watchdog,
+degradation ladder, replica drain/refill) is therefore testable without
+touching any happy-path code.
 
 Determinism: a fault fires on the first ``times`` matching probes, in
 program order, and all randomness (jitter, bit-flip positions) derives
@@ -29,10 +32,34 @@ from typing import List, Optional
 
 from repro.resilience.events import record
 
-__all__ = ["Fault", "FaultPlan", "active_plan", "probe", "FAULT_SEED_ENV"]
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "KNOWN_SITES",
+    "active_plan",
+    "probe",
+    "FAULT_SEED_ENV",
+]
 
 #: environment variable supplying the default fault-plan seed
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+#: every probe site wired into the flow, mapped to the failure kinds the
+#: site understands (the taxonomy table in docs/resilience.md)
+KNOWN_SITES = {
+    "synthesize": ("routing", "fit", "crash"),
+    "enqueue.write": ("dma", "hang"),
+    "enqueue.read": ("dma", "hang"),
+    "enqueue.kernel": ("dma", "hang"),
+    "channel": ("stall", "hang"),
+    "device": ("device_lost",),
+    "buffer": ("bitflip",),
+    # serving sites (repro.serve.lifecycle): batch submission, batch
+    # execution, and whole-replica health
+    "dispatch": ("reject",),
+    "run_batch": ("crash", "hang"),
+    "replica": ("die",),
+}
 
 
 @dataclass
@@ -40,14 +67,16 @@ class Fault:
     """One injected failure mode at one site.
 
     ``site``
-        Injection point: ``synthesize``, ``enqueue.write``,
-        ``enqueue.read``, ``enqueue.kernel``, ``channel``, ``device`` or
-        ``buffer``.
+        Injection point: any key of :data:`KNOWN_SITES` — the flow
+        sites ``synthesize``, ``enqueue.write``, ``enqueue.read``,
+        ``enqueue.kernel``, ``channel``, ``device``, ``buffer`` and the
+        serving sites ``dispatch``, ``run_batch``, ``replica``.
     ``kind``
         Failure flavour the site understands: ``routing`` / ``crash``
         / ``fit`` (synthesize), ``dma`` / ``hang`` (enqueue), ``stall``
         / ``hang`` (channel), ``device_lost`` (device), ``bitflip``
-        (buffer).
+        (buffer), ``reject`` (dispatch), ``crash`` / ``hang``
+        (run_batch), ``die`` (replica).
     ``times``
         Fire on the first N matching probes, then go quiet (models
         transient failures; use a large value for persistent ones).

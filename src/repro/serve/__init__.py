@@ -4,24 +4,43 @@ Package contract: given a pool of replicas (deployments on simulated
 boards, provisioned through the shared compile cache so same-network
 replicas reuse one synthesized bitstream) and a deterministic request
 trace, :class:`Server` replays the trace on a virtual clock through
-admission control, dynamic batching (:class:`DynamicBatcher`) and
-FIFO dispatch, degrading to the CPU sideline rung under overload
-instead of queueing unboundedly.  The result is reproducible
-bit-for-bit for a given (trace, config, pool): responses with logits,
-a dispatch log, resilience events (site ``serve``) and a
-:class:`ServeMetrics` summary (p50/p95/p99 latency, throughput, batch
-histogram, per-replica utilization) rendered by
-``python -m repro.report --serve``.  See docs/serving.md for the
-policy-knob and metrics-schema reference.
+admission control, dynamic batching (:class:`DynamicBatcher`) and FIFO
+dispatch, degrading to the CPU sideline rung under overload instead of
+queueing unboundedly.  Serving is **fault tolerant**: every replica
+runs under the health lifecycle of :mod:`repro.serve.lifecycle`
+(HEALTHY -> SUSPECT -> DRAINING -> DEAD -> REPROVISIONING -> HEALTHY),
+a consecutive-failure circuit breaker trips failing replicas out of the
+dispatch rotation, failed batches requeue under a per-request retry
+budget (exhausted requests shed to the CPU sideline — no request is
+ever stuck), and dead replicas re-provision through the shared compile
+cache.  The result is reproducible bit-for-bit for a given (trace,
+config, pool, fault plan): responses with logits, a dispatch log,
+resilience events (site ``serve``) and a :class:`ServeMetrics` summary
+(p50/p95/p99 latency, throughput, batch histogram, per-replica
+utilization and health timeline, availability) rendered by
+``python -m repro.report --serve`` (add ``--chaos SEED`` for a seeded
+fault-plan soak).  See docs/serving.md for the policy-knob, lifecycle
+and metrics-schema reference.
 """
 
 from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.lifecycle import (
+    DEAD,
+    DRAINING,
+    HEALTHY,
+    REPROVISIONING,
+    SUSPECT,
+    LifecycleManager,
+    ReplicaHealth,
+    chaos_plan,
+)
 from repro.serve.metrics import ServeMetrics, percentile, summarize
 from repro.serve.replica import (
     LogitsCache,
     Replica,
     cpu_service_us,
     provision_replicas,
+    reprovision_replica,
 )
 from repro.serve.request import (
     InferenceRequest,
@@ -33,19 +52,28 @@ from repro.serve.server import ServeConfig, ServeResult, Server
 
 __all__ = [
     "Batch",
+    "DEAD",
+    "DRAINING",
     "DynamicBatcher",
+    "HEALTHY",
     "InferenceRequest",
     "InferenceResponse",
+    "LifecycleManager",
     "LogitsCache",
+    "REPROVISIONING",
     "Replica",
+    "ReplicaHealth",
     "RequestTrace",
+    "SUSPECT",
     "ServeConfig",
     "ServeMetrics",
     "ServeResult",
     "Server",
+    "chaos_plan",
     "cpu_service_us",
     "input_fingerprint",
     "percentile",
     "provision_replicas",
+    "reprovision_replica",
     "summarize",
 ]

@@ -34,6 +34,9 @@ class Batch:
     requests: List[InferenceRequest] = field(default_factory=list)
     #: virtual time the batch was closed (left the batching window)
     closed_us: float = 0.0
+    #: dispatch attempt, starting at 1; bumped each time a failed batch's
+    #: surviving requests are requeued (see repro.serve.lifecycle)
+    attempt: int = 1
 
     def __len__(self) -> int:
         return len(self.requests)

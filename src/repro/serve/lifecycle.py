@@ -1,0 +1,321 @@
+"""Replica health lifecycle: suspect, drain, die, refill.
+
+The serving loop assumed boards stay up for a whole trace; this module
+gives :class:`~repro.serve.server.Server` a per-replica state machine so
+a replica can fail — and come back — *mid-trace* without losing a single
+request::
+
+    HEALTHY --failure--> SUSPECT --breaker--> DRAINING --> DEAD
+       ^        (any state) --die fault--------------------^  |
+       |                                                      v
+       +-------------- refill built ok <-------- REPROVISIONING
+
+* **HEALTHY / SUSPECT** are *in rotation*: the dispatcher may pick the
+  replica.  A failure (``dispatch`` fault, ``run_batch`` crash/hang,
+  serving-watchdog expiry) moves HEALTHY to SUSPECT; a success moves
+  SUSPECT back to HEALTHY (a ``recovered`` event).
+* The **circuit breaker** trips after
+  :attr:`~repro.resilience.LifecycleConfig.breaker_failures` consecutive
+  failures: SUSPECT -> DRAINING, out of the rotation.  A draining
+  replica finishes (or loses) its in-flight batch and goes DEAD.
+* A ``replica``-site ``die`` fault kills a replica outright (any state
+  -> DEAD); a death during an in-flight batch loses the batch, whose
+  requests the server requeues under the per-request retry budget.
+* A DEAD replica with refill budget left enters **REPROVISIONING**: the
+  server re-provisions it through the pool's shared
+  :class:`~repro.pipeline.CompileCache` (with a placement-seed sweep)
+  after :attr:`~repro.resilience.LifecycleConfig.reprovision_us` of
+  virtual time.  With the budget exhausted it stays DEAD, and once every
+  replica of a network is DEAD the server serves that network on the
+  CPU sideline rung — latency degrades, no request is ever stuck.
+
+Every transition is recorded as a :class:`~repro.resilience.ResilienceEvent`
+(site ``serve``) and lands in the per-replica timeline that
+:class:`~repro.serve.metrics.ServeMetrics` exports.  All of it is
+deterministic: transitions are pure functions of the (trace, config,
+fault plan) tuple, which is what the chaos soak benchmark
+(``benchmarks/test_serving_chaos.py``) relies on to prove bit-identical
+logits under replica churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.resilience.config import LifecycleConfig
+from repro.resilience.events import record as _record
+from repro.resilience.faults import Fault, FaultPlan
+from repro.serve.replica import Replica
+
+__all__ = [
+    "HEALTHY",
+    "SUSPECT",
+    "DRAINING",
+    "DEAD",
+    "REPROVISIONING",
+    "ReplicaHealth",
+    "LifecycleManager",
+    "chaos_plan",
+]
+
+#: lifecycle states (strings, like rungs and response statuses)
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DRAINING = "draining"
+DEAD = "dead"
+REPROVISIONING = "reprovisioning"
+
+#: states in the dispatch rotation
+_IN_ROTATION = (HEALTHY, SUSPECT)
+#: states that may still contribute capacity (now or after refill)
+_ALIVE = (HEALTHY, SUSPECT, DRAINING, REPROVISIONING)
+
+#: transition -> event kind recorded on the resilience log
+_EVENT_KINDS = {
+    SUSPECT: "suspect",
+    DRAINING: "breaker",
+    DEAD: "dead",
+    REPROVISIONING: "reprovision",
+    HEALTHY: "refill",
+}
+
+
+@dataclass
+class ReplicaHealth:
+    """Live health record of one replica during a server run."""
+
+    replica_id: int
+    state: str = HEALTHY
+    #: consecutive failures since the last success (breaker input)
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    #: refills consumed this run
+    refills: int = 0
+    #: batches currently dispatched to the replica (0 or 1)
+    inflight: int = 0
+    #: every transition: {'t_us', 'state', 'reason'}
+    timeline: List[Dict[str, object]] = field(default_factory=list)
+    #: when the current state was entered
+    state_since_us: float = 0.0
+    #: accumulated in-rotation (HEALTHY/SUSPECT) time
+    in_rotation_us: float = 0.0
+
+    @property
+    def in_rotation(self) -> bool:
+        return self.state in _IN_ROTATION
+
+    @property
+    def alive(self) -> bool:
+        return self.state in _ALIVE
+
+    def _move(self, state: str, now: float, reason: str) -> None:
+        if self.state in _IN_ROTATION:
+            self.in_rotation_us += max(0.0, now - self.state_since_us)
+        self.state = state
+        self.state_since_us = now
+        self.timeline.append({"t_us": now, "state": state, "reason": reason})
+
+    def finalize(self, now: float) -> None:
+        """Close the availability accounting at end of run."""
+        if self.state in _IN_ROTATION:
+            self.in_rotation_us += max(0.0, now - self.state_since_us)
+            self.state_since_us = now
+
+
+class LifecycleManager:
+    """Drives every replica's health state machine for one server run.
+
+    The :class:`~repro.serve.server.Server` owns one manager per
+    ``run()`` (state never leaks across runs, keeping runs restartable)
+    and calls back on every dispatch outcome; the manager answers
+    rotation/placement queries and records each transition as a
+    ``serve``-site resilience event.
+    """
+
+    def __init__(
+        self, replicas: List[Replica], config: Optional[LifecycleConfig] = None
+    ) -> None:
+        self.config = config or LifecycleConfig()
+        self.health: Dict[int, ReplicaHealth] = {
+            r.replica_id: ReplicaHealth(replica_id=r.replica_id)
+            for r in replicas
+        }
+        self._replicas = list(replicas)
+        self.breaker_trips = 0
+        self.deaths = 0
+        self.refills = 0
+
+    # -- queries ---------------------------------------------------------
+    def of(self, replica: Replica) -> ReplicaHealth:
+        return self.health[replica.replica_id]
+
+    def pick(self, network: str, now: float) -> Optional[Replica]:
+        """Lowest-id free, in-rotation replica serving ``network``."""
+        for r in self._replicas:
+            if (
+                r.network == network
+                and r.busy_until_us <= now
+                and self.of(r).in_rotation
+            ):
+                return r
+        return None
+
+    def pool_alive(self, network: str) -> bool:
+        """Whether any replica of ``network`` can still serve (now or
+        after a pending refill)."""
+        return any(
+            self.of(r).alive for r in self._replicas if r.network == network
+        )
+
+    def availability(self, makespan_us: float) -> float:
+        """Fraction of replica-time spent in the dispatch rotation."""
+        if not self._replicas or makespan_us <= 0:
+            return 1.0
+        total = sum(h.in_rotation_us for h in self.health.values())
+        return min(1.0, total / (makespan_us * len(self._replicas)))
+
+    def finalize(self, now: float) -> None:
+        for h in self.health.values():
+            h.finalize(now)
+
+    # -- transitions -----------------------------------------------------
+    def _transition(
+        self, replica: Replica, state: str, now: float, reason: str
+    ) -> None:
+        h = self.of(replica)
+        h._move(state, now, reason)
+        _record(
+            _EVENT_KINDS[state], "serve",
+            f"replica {replica.replica_id} ({replica.network}/"
+            f"{replica.rung}) -> {state.upper()}: {reason}",
+            t_us=now, replica=replica.replica_id, state=state,
+        )
+
+    def on_success(self, replica: Replica, now: float) -> None:
+        """A batch completed cleanly: clear the failure streak."""
+        h = self.of(replica)
+        h.successes += 1
+        h.consecutive_failures = 0
+        if h.state == SUSPECT:
+            self._transition(
+                replica, HEALTHY, now, "served a batch cleanly; recovered"
+            )
+
+    def on_failure(self, replica: Replica, now: float, reason: str) -> None:
+        """A dispatch/run failure: SUSPECT, then the breaker may trip.
+
+        A replica whose breaker trips leaves the rotation (DRAINING) and,
+        once nothing is in flight, goes DEAD — the caller should then ask
+        :meth:`want_refill`.
+        """
+        h = self.of(replica)
+        h.failures += 1
+        h.consecutive_failures += 1
+        if h.state == HEALTHY:
+            self._transition(replica, SUSPECT, now, reason)
+        if (
+            h.state == SUSPECT
+            and h.consecutive_failures >= self.config.breaker_failures
+        ):
+            self.breaker_trips += 1
+            self._transition(
+                replica, DRAINING, now,
+                f"circuit breaker: {h.consecutive_failures} consecutive "
+                f"failures (last: {reason})",
+            )
+            if h.inflight == 0:
+                self.on_drained(replica, now)
+
+    def on_drained(self, replica: Replica, now: float) -> None:
+        """A draining replica has no in-flight work left: declare DEAD."""
+        self.deaths += 1
+        self._transition(replica, DEAD, now, "drained; out of service")
+
+    def kill(self, replica: Replica, now: float, reason: str) -> None:
+        """A ``die`` fault: straight to DEAD from any live state."""
+        self.deaths += 1
+        self._transition(replica, DEAD, now, reason)
+
+    def want_refill(self, replica: Replica, now: float) -> Optional[float]:
+        """Start re-provisioning a DEAD replica if budget remains.
+
+        Returns the virtual time the refill completes (the server
+        schedules a ``refill`` event there), or None when the budget is
+        exhausted — the replica stays DEAD and the pool shrinks for good.
+        """
+        h = self.of(replica)
+        if h.state != DEAD:
+            return None
+        if h.refills >= self.config.max_refills:
+            _record(
+                "giveup", "serve",
+                f"replica {replica.replica_id} ({replica.network}): refill "
+                f"budget exhausted ({h.refills}/{self.config.max_refills}); "
+                f"staying DEAD",
+                t_us=now, replica=replica.replica_id,
+            )
+            return None
+        h.refills += 1
+        ready = now + self.config.reprovision_us
+        self._transition(
+            replica, REPROVISIONING, now,
+            f"refill {h.refills}/{self.config.max_refills}: re-provisioning "
+            f"through the shared compile cache, ready at {ready:.0f}us",
+        )
+        return ready
+
+    def on_refill_ready(self, replica: Replica, now: float) -> None:
+        """The rebuilt deployment is live: back to HEALTHY."""
+        h = self.of(replica)
+        h.consecutive_failures = 0
+        self.refills += 1
+        self._transition(
+            replica, HEALTHY, now,
+            f"re-provisioned on {replica.board.name} as {replica.rung}; "
+            f"back in rotation",
+        )
+
+    def on_refill_failed(self, replica: Replica, now: float, reason: str) -> None:
+        """The rebuild itself failed: back to DEAD (budget consumed)."""
+        self.deaths += 1
+        self._transition(
+            replica, DEAD, now, f"re-provisioning failed ({reason})"
+        )
+
+
+def chaos_plan(
+    network: str, n_replicas: int, seed: Optional[int] = None
+) -> FaultPlan:
+    """The canonical serving chaos plan: kill replicas mid-trace.
+
+    Used by the chaos soak benchmark, ``repro.report --serve --chaos``
+    and the CI chaos job.  With ``n_replicas >= 2`` it kills two
+    replicas — one outright at dispatch, one **during an in-flight
+    batch** — trips the circuit breaker with repeated dispatch rejects,
+    and injects a mid-run batch crash plus a hang that the serving
+    watchdog must catch.  All randomness derives from ``seed``
+    (default: ``REPRO_FAULT_SEED``).
+    """
+    victim = 1 % n_replicas  # dies at dispatch, after breaker trips
+    inflight_victim = n_replicas - 1  # dies mid-batch
+    return FaultPlan(
+        # two consecutive submission failures: SUSPECT then breaker trip
+        Fault("dispatch", "reject", times=2, match=f"replica{victim}"),
+        # one batch crashes halfway through its service time
+        Fault("run_batch", "crash", times=1, param=0.5, match="replica0"),
+        # one batch hangs; the serving watchdog declares it dead
+        Fault("run_batch", "hang", times=1, match="replica0"),
+        # a replica dies while a batch is in flight on it
+        Fault(
+            "replica", "die", times=1,
+            match=f"complete:{network}:replica{inflight_victim}",
+        ),
+        # and (after its refill) the breaker victim dies for good
+        Fault(
+            "replica", "die", times=1,
+            match=f"dispatch:{network}:replica{victim}",
+        ),
+        seed=seed,
+    )

@@ -59,6 +59,14 @@ class ReplicaStats:
     busy_us: float = 0.0
     #: busy_us / makespan once the run completes
     utilization: float = 0.0
+    #: lifecycle state at end of run (repro.serve.lifecycle)
+    state: str = "healthy"
+    #: dispatch/run failures charged to this replica
+    failures: int = 0
+    #: refills (re-provisionings) the replica consumed
+    refills: int = 0
+    #: state transition timeline: [{'t_us', 'state', 'reason'}, ...]
+    timeline: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -70,6 +78,10 @@ class ReplicaStats:
             "images": self.images,
             "busy_us": self.busy_us,
             "utilization": self.utilization,
+            "state": self.state,
+            "failures": self.failures,
+            "refills": self.refills,
+            "timeline": [dict(t) for t in self.timeline],
         }
 
 
@@ -99,6 +111,18 @@ class ServeMetrics:
     rung_counts: Dict[str, int] = field(default_factory=dict)
     #: deepest admission queue observed (backpressure indicator)
     peak_queue_depth: int = 0
+    #: request requeues after failed batches (lifecycle recovery)
+    requeues: int = 0
+    #: circuit-breaker trips (replica -> DRAINING)
+    breaker_trips: int = 0
+    #: replica deaths (drained breakers + injected kills + failed refills)
+    deaths: int = 0
+    #: successful refills (replica re-provisioned back to HEALTHY)
+    refills: int = 0
+    #: serving-watchdog expiries (hung batches declared dead)
+    watchdog_trips: int = 0
+    #: fraction of replica-time spent in the dispatch rotation
+    availability: float = 1.0
     per_replica: List[ReplicaStats] = field(default_factory=list)
 
     # -- export ----------------------------------------------------------
@@ -119,6 +143,12 @@ class ServeMetrics:
                                 sorted(self.batch_histogram.items())},
             "rung_counts": dict(sorted(self.rung_counts.items())),
             "peak_queue_depth": self.peak_queue_depth,
+            "requeues": self.requeues,
+            "breaker_trips": self.breaker_trips,
+            "deaths": self.deaths,
+            "refills": self.refills,
+            "watchdog_trips": self.watchdog_trips,
+            "availability": self.availability,
             "replicas": [r.to_dict() for r in self.per_replica],
         }
 
@@ -141,18 +171,24 @@ class ServeMetrics:
             f"peak queue {self.peak_queue_depth}",
             "rungs    "
             + "  ".join(f"{k}:{v}" for k, v in sorted(self.rung_counts.items())),
+            f"health   availability {self.availability:.1%}  "
+            f"requeues {self.requeues}  breaker trips {self.breaker_trips}  "
+            f"deaths {self.deaths}  refills {self.refills}  "
+            f"watchdog {self.watchdog_trips}",
         ]
         if self.per_replica:
             header = (
                 f"{'replica':>7} {'board':<6} {'rung':<10} {'bitstream':<9} "
-                f"{'batches':>7} {'images':>6} {'busy_ms':>9} {'util':>6}"
+                f"{'state':<14} {'batches':>7} {'images':>6} {'fails':>5} "
+                f"{'busy_ms':>9} {'util':>6}"
             )
             lines += ["", header, "-" * len(header)]
             for r in self.per_replica:
                 cache = r.bitstream_cache or "-"
                 lines.append(
                     f"{r.replica:>7} {r.board:<6} {r.rung:<10} {cache:<9} "
-                    f"{r.batches:>7} {r.images:>6} {r.busy_us / 1e3:>9.1f} "
+                    f"{r.state:<14} {r.batches:>7} {r.images:>6} "
+                    f"{r.failures:>5} {r.busy_us / 1e3:>9.1f} "
                     f"{r.utilization:>6.1%}"
                 )
         return "\n".join(lines)

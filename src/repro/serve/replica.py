@@ -10,7 +10,10 @@ and replicas 1..N-1 hit the content-addressed cache — each replica
 records its synthesize-stage cache outcome (``hit``/``miss``) from its
 compile trace.  A replica that cannot build its preferred mode degrades
 down the same ladder the resilience layer uses (pipelined → folded →
-CPU), recording ``fallback`` events on the resilience log.
+CPU), recording ``fallback`` events on the resilience log; a pool whose
+builds *all* fail degrades to CPU-only instead of raising.  Dead
+replicas re-enter the pool through :func:`reprovision_replica`, the
+refill path of the health lifecycle (:mod:`repro.serve.lifecycle`).
 """
 
 from __future__ import annotations
@@ -23,14 +26,21 @@ import numpy as np
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
 from repro.errors import ReproError
-from repro.flow.deploy import Deployment, deploy_folded, deploy_pipelined
+from repro.flow.deploy import Deployment, build_rung
 from repro.flow.stages import CacheOption, MODELS, resolve_cache
 from repro.perf import tf_cpu_fps
 from repro.relay import fuse_operators, init_params, run_fused_graph
+from repro.resilience.config import configured
 from repro.resilience.events import record as _record
 from repro.serve.request import input_fingerprint
 
-__all__ = ["Replica", "LogitsCache", "cpu_service_us", "provision_replicas"]
+__all__ = [
+    "Replica",
+    "LogitsCache",
+    "cpu_service_us",
+    "provision_replicas",
+    "reprovision_replica",
+]
 
 #: CPU sideline throughput assumed when no calibrated baseline exists
 _FALLBACK_CPU_FPS = 10.0
@@ -120,6 +130,54 @@ class Replica:
         )
 
 
+def _preferred_modes(network: str) -> List[str]:
+    """Device rungs to try, best first (the degradation-ladder order)."""
+    return ["pipelined", "folded"] if network == "lenet5" else ["folded"]
+
+
+def _build_replica(
+    rid: int,
+    network: str,
+    board: Board,
+    shared,
+    constants: AOCConstants,
+    context: str,
+) -> Replica:
+    """Build one replica down the rung ladder; the CPU rung never fails.
+
+    Any build exception — not just :class:`ReproError` — degrades to the
+    next rung: a hard provisioning failure must shrink capacity, never
+    kill the pool.
+    """
+    for mode in _preferred_modes(network):
+        try:
+            dep = build_rung(
+                network, board, mode, constants=constants,
+                cache=shared if shared is not None else False,
+            )
+        except Exception as err:
+            _record(
+                "fallback", "serve",
+                f"replica {rid}: {mode} {context} of {network} on "
+                f"{board.name} failed ({type(err).__name__}: {err}); "
+                f"degrading",
+            )
+            continue
+        cache_status = None
+        if dep.trace is not None:
+            cache_status = dep.trace.stage("synthesize").cache
+        return Replica(
+            replica_id=rid, network=network, board=board, rung=mode,
+            deployment=dep, bitstream_cache=cache_status,
+        )
+    _record(
+        "fallback", "serve",
+        f"replica {rid}: no device rung builds {network} on "
+        f"{board.name}; provisioning the CPU executor rung",
+    )
+    return Replica(replica_id=rid, network=network, board=board, rung="cpu")
+
+
 def provision_replicas(
     network: str,
     board: Board,
@@ -134,7 +192,10 @@ def provision_replicas(
     whole pool (the cache outcome lands in each replica's
     ``bitstream_cache``).  Preferred mode is pipelined for LeNet-class
     networks and folded otherwise; a mode that cannot build falls
-    through — ultimately to a CPU replica, which always provisions.
+    through — ultimately to a CPU replica, which always provisions, so
+    provisioning never raises on build failure.  When *every* device
+    build fails the pool degrades to CPU-only and says so with a
+    ``degrade`` resilience event.
     """
     if network not in MODELS:
         raise ReproError(
@@ -142,47 +203,43 @@ def provision_replicas(
             f"{', '.join(sorted(MODELS))}"
         )
     shared = resolve_cache(cache)
-    modes = ["pipelined", "folded"] if network == "lenet5" else ["folded"]
-    replicas: List[Replica] = []
-    for i in range(n):
-        rid = start_id + i
-        replica = None
-        for mode in modes:
-            try:
-                if mode == "pipelined":
-                    dep = deploy_pipelined(
-                        network, board, constants=constants,
-                        cache=shared if shared is not None else False,
-                    )
-                else:
-                    dep = deploy_folded(
-                        network, board, constants=constants,
-                        cache=shared if shared is not None else False,
-                    )
-            except ReproError as err:
-                _record(
-                    "fallback", "serve",
-                    f"replica {rid}: {mode} build of {network} on "
-                    f"{board.name} failed ({type(err).__name__}: {err}); "
-                    f"degrading",
-                )
-                continue
-            cache_status = None
-            if dep.trace is not None:
-                cache_status = dep.trace.stage("synthesize").cache
-            replica = Replica(
-                replica_id=rid, network=network, board=board, rung=mode,
-                deployment=dep, bitstream_cache=cache_status,
-            )
-            break
-        if replica is None:
-            _record(
-                "fallback", "serve",
-                f"replica {rid}: no device rung builds {network} on "
-                f"{board.name}; provisioning the CPU executor rung",
-            )
-            replica = Replica(
-                replica_id=rid, network=network, board=board, rung="cpu",
-            )
-        replicas.append(replica)
+    replicas = [
+        _build_replica(
+            start_id + i, network, board, shared, constants, "build"
+        )
+        for i in range(n)
+    ]
+    if replicas and all(r.rung == "cpu" for r in replicas):
+        _record(
+            "degrade", "serve",
+            f"pool of {n} {network} replica(s) on {board.name} is CPU-only: "
+            f"every device build failed; serving continues at CPU latency",
+        )
     return replicas
+
+
+def reprovision_replica(
+    replica: Replica,
+    cache: CacheOption = None,
+    constants: AOCConstants = DEFAULT_CONSTANTS,
+) -> Replica:
+    """Rebuild a dead replica's deployment in place (the refill path).
+
+    Re-provisions through the shared compile cache with a placement-seed
+    sweep (``routing_seeds=4``) — a refill models moving the bitstream
+    to a spare board, where seed-sensitive routing failures deserve a
+    sweep rather than an instant give-up.  Falls down the same rung
+    ladder as provisioning; the CPU rung always succeeds.
+    """
+    shared = resolve_cache(cache)
+    with configured(routing_seeds=4):
+        rebuilt = _build_replica(
+            replica.replica_id, replica.network, replica.board, shared,
+            constants, "refill build",
+        )
+    replica.deployment = rebuilt.deployment
+    replica.rung = rebuilt.rung
+    replica.bitstream_cache = rebuilt.bitstream_cache
+    replica._cpu_fused = None
+    replica._cpu_params = None
+    return replica

@@ -60,7 +60,9 @@ class InferenceResponse:
     rid: int
     network: str
     #: 'ok' (served by a device replica), 'shed' (served by the CPU
-    #: sideline under overload) or 'rejected' (admission control)
+    #: sideline — under overload, after the retry budget ran out, or
+    #: because every replica of the network died) or 'rejected'
+    #: (admission control)
     status: str
     #: rung that served: a replica rung ('pipelined'/'folded') or 'cpu'
     rung: str = ""
@@ -76,6 +78,8 @@ class InferenceResponse:
     #: when the request left the queue for a replica (== arrival for shed)
     dispatch_us: float = 0.0
     completed_us: float = 0.0
+    #: times the request rode a batch that failed and was requeued
+    requeues: int = 0
 
     @property
     def queue_us(self) -> float:

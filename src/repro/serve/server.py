@@ -1,4 +1,4 @@
-"""The serving loop: admission control, batching, dispatch, shedding.
+"""The serving loop: admission, batching, dispatch, fault recovery.
 
 :class:`Server` is a discrete-event simulation on a **virtual clock** —
 the serving analogue of the discrete-time runtime model.  It replays a
@@ -12,15 +12,28 @@ the serving analogue of the discrete-time runtime model.  It replays a
    ``window_us`` virtual window up to ``max_batch``
    (:class:`~repro.serve.batcher.DynamicBatcher`);
 3. **dispatch** — closed batches go FIFO to the lowest-numbered free
-   :class:`~repro.serve.replica.Replica` serving that network, which
-   charges the batched runtime model's service time.
+   *in-rotation* :class:`~repro.serve.replica.Replica` serving that
+   network, which charges the batched runtime model's service time;
+4. **fault recovery** — every dispatch runs under the replica health
+   lifecycle (:mod:`repro.serve.lifecycle`): submission rejects, batch
+   crashes, hangs caught by the serving watchdog and outright replica
+   deaths (the ``dispatch`` / ``run_batch`` / ``replica`` fault sites)
+   mark replicas SUSPECT, trip the circuit breaker into DRAINING/DEAD,
+   requeue the failed batch's requests under a per-request retry budget
+   (exhausted requests are shed to the CPU sideline — never stuck), and
+   re-provision dead replicas through the shared compile cache.  A
+   network whose replicas are all dead for good serves on the CPU rung.
 
-Everything is a pure function of (trace, config, replica pool): event
-ties break on fixed priorities and sequence numbers, no wall clock or
-unseeded randomness is consulted, and shed/overload decisions are
+Everything is a pure function of (trace, config, replica pool, fault
+plan): event ties break on fixed priorities and sequence numbers, no
+wall clock or unseeded randomness is consulted, responses are written
+exactly once per request, and every shed/overload/lifecycle decision is
 recorded on the process-wide resilience event log (site ``serve``) so
-``python -m repro.report --serve`` can show the overload story next to
-the metrics.
+``python -m repro.report --serve`` can show the fault story next to the
+metrics.  Logits are computed through the pool-wide
+:class:`~repro.serve.replica.LogitsCache`, so they are bit-identical no
+matter which replica — or the CPU sideline — ends up serving a request:
+the chaos soak benchmark's core guarantee.
 """
 
 from __future__ import annotations
@@ -32,12 +45,22 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import DeadlockError, ReproError
+from repro.flow.stages import CacheOption
+from repro.resilience.config import LifecycleConfig, current_config
 from repro.resilience.events import log as _resilience_log
 from repro.resilience.events import record as _record
+from repro.resilience.faults import probe
+from repro.resilience.watchdog import Watchdog
 from repro.serve.batcher import Batch, DynamicBatcher
+from repro.serve.lifecycle import DEAD, LifecycleManager
 from repro.serve.metrics import ReplicaStats, ServeMetrics, summarize
-from repro.serve.replica import LogitsCache, Replica, cpu_service_us
+from repro.serve.replica import (
+    LogitsCache,
+    Replica,
+    cpu_service_us,
+    reprovision_replica,
+)
 from repro.serve.request import InferenceResponse, RequestTrace
 
 __all__ = ["ServeConfig", "ServeResult", "Server"]
@@ -65,6 +88,9 @@ class ServeConfig:
     compute_logits: bool = True
     #: concurrent (one-queue-per-kernel) execution on pipelined replicas
     concurrent: bool = True
+    #: replica health policy (breaker/retry/refill/watchdog knobs);
+    #: None uses the process-wide ``current_config().lifecycle``
+    lifecycle: Optional[LifecycleConfig] = None
 
     def __post_init__(self) -> None:
         if self.overload_policy not in ("shed", "reject"):
@@ -83,7 +109,7 @@ class ServeResult:
     #: responses ordered by request id
     responses: List[InferenceResponse] = field(default_factory=list)
     metrics: ServeMetrics = field(default_factory=ServeMetrics)
-    #: dispatch log: one dict per batch, in dispatch order
+    #: dispatch log: one dict per dispatched batch, in dispatch order
     batches: List[Dict[str, object]] = field(default_factory=list)
     #: resilience events (site 'serve') fired during the run
     events: List[Dict[str, object]] = field(default_factory=list)
@@ -91,16 +117,18 @@ class ServeResult:
     def fingerprint(self) -> str:
         """Content hash of batch assignments + metrics + logits.
 
-        Two runs of the same (trace, config, pool) must agree on this —
-        the serving determinism contract.  Provisioning metadata
-        (``bitstream_cache``) is excluded: whether a replica's bitstream
-        came from a warm or cold compile cache must not change serving.
+        Two runs of the same (trace, config, pool, fault plan) must
+        agree on this — the serving determinism contract.  Provisioning
+        metadata (``bitstream_cache``) is excluded: whether a replica's
+        bitstream came from a warm or cold compile cache must not
+        change serving.
         """
         h = hashlib.sha256()
         for b in self.batches:
             h.update(
                 f"{b['batch_id']}:{b['network']}:{b['replica']}:"
-                f"{b['rids']}:{b['dispatch_us']:.3f}:{b['service_us']:.3f};"
+                f"{b['rids']}:{b.get('attempt', 1)}:{b.get('outcome', 'ok')}:"
+                f"{b['dispatch_us']:.3f}:{b['service_us']:.3f};"
                 .encode()
             )
         payload = self.metrics.to_dict()
@@ -120,11 +148,15 @@ class Server:
         self,
         replicas: List[Replica],
         config: Optional[ServeConfig] = None,
+        cache: CacheOption = None,
     ) -> None:
         if not replicas:
             raise ReproError("a server needs at least one replica")
         self.replicas = sorted(replicas, key=lambda r: r.replica_id)
         self.config = config or ServeConfig()
+        #: compile cache used to re-provision dead replicas (refills);
+        #: pass the pool's provisioning cache so refills hit warm
+        self.cache = cache
         self.logits_cache = LogitsCache()
         #: lazily-built CPU sideline workers, one per network
         self._sideline: Dict[str, Replica] = {}
@@ -154,6 +186,7 @@ class Server:
     def run(self, trace: RequestTrace) -> ServeResult:
         """Replay ``trace`` to completion and summarize the run."""
         cfg = self.config
+        lcfg = cfg.lifecycle or current_config().lifecycle
         unknown = sorted(
             {r.network for r in trace} - set(self.networks)
         )
@@ -170,6 +203,8 @@ class Server:
 
         cursor = _resilience_log().cursor()
         batcher = DynamicBatcher(cfg.window_us, cfg.max_batch)
+        lc = LifecycleManager(self.replicas, lcfg)
+        watchdog = Watchdog(budget_us=lcfg.batch_budget_us)
         heap: List[Tuple[float, int, int, str, object]] = []
         seq = 0
 
@@ -185,35 +220,179 @@ class Server:
         responses: Dict[int, InferenceResponse] = {}
         batch_log: List[Dict[str, object]] = []
         group_gen: Dict[object, int] = {}
+        #: failed attempts per request (the retry-budget counter)
+        attempts: Dict[int, int] = {}
         peak_queue = 0
-        shed = rejected = 0
+        shed = rejected = requeues = watchdog_trips = 0
         first_arrival = trace.requests[0].arrival_us if len(trace) else 0.0
         last_completion = first_arrival
 
         def queue_depth() -> int:
             return len(batcher) + sum(len(b) for b in dispatch_queue)
 
+        def answer(req, response) -> None:
+            # exactly-once: a request is answered at one terminal event
+            # (success, shed-complete or reject) and never again
+            if req.rid in responses:
+                raise ReproError(
+                    f"internal: duplicate response for request {req.rid}"
+                )
+            responses[req.rid] = response
+
+        def serve_on_cpu(reqs, now: float) -> None:
+            """Terminal CPU-sideline service (the never-stuck guarantee)."""
+            nonlocal shed
+            for req in reqs:
+                shed += 1
+                sideline = self._sideline_for(req.network)
+                service = cpu_service_us(req.network)
+                push(now + service, _COMPLETE, "shed-complete",
+                     (req, sideline, now))
+
+        def maybe_refill(replica: Replica, now: float) -> None:
+            ready = lc.want_refill(replica, now)
+            if ready is not None:
+                push(ready, _COMPLETE, "refill", replica)
+
+        def after_failure(replica: Replica, now: float) -> None:
+            if lc.of(replica).state == DEAD:
+                maybe_refill(replica, now)
+
+        def requeue_batch(batch: Batch, now: float, reason: str) -> None:
+            """Recover a failed batch: retry its requests or shed them."""
+            nonlocal requeues
+            retry, exhausted = [], []
+            for req in batch.requests:
+                attempts[req.rid] = attempts.get(req.rid, 0) + 1
+                if attempts[req.rid] <= lcfg.retry_budget:
+                    retry.append(req)
+                else:
+                    exhausted.append(req)
+            if retry:
+                requeues += len(retry)
+                dispatch_queue.appendleft(Batch(
+                    batch_id=batch.batch_id, network=batch.network,
+                    requests=retry, closed_us=batch.closed_us,
+                    attempt=batch.attempt + 1,
+                ))
+                _record(
+                    "requeue", "serve",
+                    f"batch {batch.batch_id} ({batch.network} x{len(batch)}) "
+                    f"failed on attempt {batch.attempt}: {reason}; "
+                    f"requeueing {len(retry)} request(s) at the queue front",
+                    t_us=now, batch=batch.batch_id,
+                    retried=len(retry), exhausted=len(exhausted),
+                )
+            for req in exhausted:
+                _record(
+                    "shed", "serve",
+                    f"request {req.rid} ({req.network}): retry budget "
+                    f"exhausted after {reason} "
+                    f"({attempts[req.rid] - 1}/{lcfg.retry_budget} retries "
+                    f"used); shedding to the CPU rung",
+                    t_us=now, rid=req.rid,
+                )
+            serve_on_cpu(exhausted, now)
+
         def dispatch(now: float) -> None:
+            nonlocal watchdog_trips
             while dispatch_queue:
                 batch = dispatch_queue[0]
-                replica = self._free_replica(batch.network, now)
+                network = batch.network
+                replica = lc.pick(network, now)
                 if replica is None:
-                    return
-                dispatch_queue.popleft()
+                    if lc.pool_alive(network):
+                        return  # a completion or refill event re-drives us
+                    # every replica of the network is DEAD with no refill
+                    # left: serve the batch on the CPU sideline rung
+                    dispatch_queue.popleft()
+                    _record(
+                        "fallback", "serve",
+                        f"batch {batch.batch_id} ({network} x{len(batch)}): "
+                        f"every {network} replica is dead with no refill "
+                        f"left; serving on the CPU sideline rung",
+                        t_us=now, batch=batch.batch_id,
+                    )
+                    serve_on_cpu(batch.requests, now)
+                    continue
+                rid = replica.replica_id
+                # a replica can die at the instant of batch submission
+                fault = probe("replica", f"dispatch:{network}:replica{rid}")
+                if fault is not None:
+                    lc.kill(
+                        replica, now,
+                        f"injected {fault.kind} fault at batch submission",
+                    )
+                    maybe_refill(replica, now)
+                    continue  # batch stays queued; try the next replica
+                # the submission itself can be rejected
+                fault = probe("dispatch", f"{network}:replica{rid}")
+                if fault is not None:
+                    lc.on_failure(
+                        replica, now,
+                        f"batch {batch.batch_id} submission rejected "
+                        f"(injected {fault.kind} fault)",
+                    )
+                    after_failure(replica, now)
+                    continue
+                # how the batch will run: crash/hang faults fire here so
+                # the outcome is pinned at dispatch (determinism), but
+                # they resolve at the completion event
                 service = replica.service_us(len(batch))
+                outcome = "ok"
+                fault = probe("run_batch", f"{network}:replica{rid}")
+                if fault is not None:
+                    if fault.kind == "hang":
+                        # the batch would never finish; model it as a
+                        # service time past the watchdog budget
+                        service = max(service, lcfg.batch_budget_us) * 2
+                        outcome = "hang"
+                    else:  # 'crash': dies part-way through service
+                        frac = (
+                            fault.param if 0.0 < fault.param < 1.0 else 0.5
+                        )
+                        service *= frac
+                        outcome = "crash"
+                try:
+                    watchdog.observe(
+                        f"batch{batch.batch_id}:{network}:replica{rid}",
+                        service,
+                    )
+                except DeadlockError as err:
+                    # the serving watchdog catches the hang: the batch is
+                    # declared dead, the replica suspect, the trace lives
+                    watchdog_trips += 1
+                    _record(
+                        "watchdog", "serve",
+                        f"batch {batch.batch_id} on replica {rid}: {err}",
+                        t_us=now, batch=batch.batch_id, replica=rid,
+                    )
+                    dispatch_queue.popleft()
+                    lc.on_failure(
+                        replica, now, "serving watchdog expiry (hung batch)"
+                    )
+                    after_failure(replica, now)
+                    requeue_batch(batch, now, "a serving-watchdog expiry")
+                    continue
+                dispatch_queue.popleft()
+                lc.of(replica).inflight += 1
                 replica.busy_until_us = now + service
                 replica.busy_us += service
                 replica.batches += 1
                 replica.images += len(batch)
-                batch_log.append({
+                entry = {
                     "batch_id": batch.batch_id,
-                    "network": batch.network,
-                    "replica": replica.replica_id,
+                    "network": network,
+                    "replica": rid,
                     "rids": list(batch.rids),
+                    "attempt": batch.attempt,
                     "dispatch_us": now,
                     "service_us": service,
-                })
-                push(now + service, _COMPLETE, "complete", (batch, replica, now))
+                    "outcome": "ok",
+                }
+                batch_log.append(entry)
+                push(now + service, _COMPLETE, "complete",
+                     (batch, replica, now, outcome, entry))
 
         def close(batch: Optional[Batch], now: float) -> None:
             if batch is None:
@@ -225,7 +404,10 @@ class Server:
 
         while heap:
             now, _prio, _seq, kind, payload = heapq.heappop(heap)
-            last_completion = max(last_completion, now)
+            if kind != "refill":
+                # refills may land after the last response; they must not
+                # stretch the makespan
+                last_completion = max(last_completion, now)
 
             if kind == "arrive":
                 req = payload
@@ -239,24 +421,21 @@ class Server:
                             f"queue full ({depth}/{cfg.max_queue}); rejected",
                             t_us=now,
                         )
-                        responses[req.rid] = InferenceResponse(
+                        answer(req, InferenceResponse(
                             rid=req.rid, network=req.network,
                             status="rejected", arrival_us=now,
                             dispatch_us=now, completed_us=now,
-                        )
+                        ))
                         continue
-                    shed += 1
-                    sideline = self._sideline_for(req.network)
-                    service = cpu_service_us(req.network)
+                    sideline_service = cpu_service_us(req.network)
                     _record(
                         "shed", "serve",
                         f"request {req.rid} ({req.network}): admission "
                         f"queue full ({depth}/{cfg.max_queue}); shedding "
-                        f"to the CPU rung ({service:.0f}us/image)",
+                        f"to the CPU rung ({sideline_service:.0f}us/image)",
                         t_us=now, queue_depth=depth,
                     )
-                    push(now + service, _COMPLETE, "shed-complete",
-                         (req, sideline, now))
+                    serve_on_cpu([req], now)
                     continue
                 key = req.batch_key
                 peak_queue = max(peak_queue, depth + 1)
@@ -275,32 +454,75 @@ class Server:
                 close(batcher.flush(key, now), now)
 
             elif kind == "complete":
-                batch, replica, dispatched = payload
-                for req in batch.requests:
-                    responses[req.rid] = InferenceResponse(
-                        rid=req.rid, network=req.network, status="ok",
-                        rung=replica.rung, replica=replica.replica_id,
-                        batch_id=batch.batch_id, batch_size=len(batch),
-                        logits=self._logits(replica, req.x),
-                        arrival_us=req.arrival_us, dispatch_us=dispatched,
-                        completed_us=now,
+                batch, replica, dispatched, outcome, entry = payload
+                lc.of(replica).inflight -= 1
+                rid = replica.replica_id
+                died = probe(
+                    "replica", f"complete:{batch.network}:replica{rid}"
+                )
+                if died is not None:
+                    entry["outcome"] = "died"
+                    lc.kill(
+                        replica, now,
+                        f"injected {died.kind} fault with batch "
+                        f"{batch.batch_id} in flight; the batch is lost",
                     )
+                    maybe_refill(replica, now)
+                    requeue_batch(
+                        batch, now, f"replica {rid} dying mid-batch"
+                    )
+                elif outcome == "crash":
+                    entry["outcome"] = "crash"
+                    lc.on_failure(
+                        replica, now,
+                        f"batch {batch.batch_id} crashed mid-service "
+                        f"(injected run_batch fault)",
+                    )
+                    after_failure(replica, now)
+                    requeue_batch(batch, now, "a mid-service crash")
+                else:
+                    for req in batch.requests:
+                        answer(req, InferenceResponse(
+                            rid=req.rid, network=req.network, status="ok",
+                            rung=replica.rung, replica=rid,
+                            batch_id=batch.batch_id, batch_size=len(batch),
+                            logits=self._logits(replica, req.x),
+                            arrival_us=req.arrival_us,
+                            dispatch_us=dispatched, completed_us=now,
+                            requeues=attempts.get(req.rid, 0),
+                        ))
+                    lc.on_success(replica, now)
+                dispatch(now)
+
+            elif kind == "refill":
+                replica = payload
+                try:
+                    reprovision_replica(replica, cache=self.cache)
+                except Exception as err:
+                    lc.on_refill_failed(
+                        replica, now, f"{type(err).__name__}: {err}"
+                    )
+                else:
+                    replica.busy_until_us = now
+                    lc.on_refill_ready(replica, now)
                 dispatch(now)
 
             else:  # shed-complete
-                req, sideline, arrived = payload
-                responses[req.rid] = InferenceResponse(
+                req, sideline, dispatched = payload
+                answer(req, InferenceResponse(
                     rid=req.rid, network=req.network, status="shed",
                     rung="cpu", batch_size=1,
                     logits=self._logits(sideline, req.x),
-                    arrival_us=arrived, dispatch_us=arrived,
+                    arrival_us=req.arrival_us, dispatch_us=dispatched,
                     completed_us=now,
-                )
+                    requeues=attempts.get(req.rid, 0),
+                ))
 
+        lc.finalize(last_completion)
         ordered = [responses[r.rid] for r in trace]
         metrics = self._metrics(
             ordered, batch_log, first_arrival, last_completion,
-            peak_queue, shed, rejected,
+            peak_queue, shed, rejected, lc, requeues, watchdog_trips,
         )
         events = [
             e.to_dict()
@@ -322,6 +544,9 @@ class Server:
         peak_queue: int,
         shed: int,
         rejected: int,
+        lc: LifecycleManager,
+        requeues: int,
+        watchdog_trips: int,
     ) -> ServeMetrics:
         served = [r for r in responses if r.status in ("ok", "shed")]
         ok = [r for r in responses if r.status == "ok"]
@@ -336,11 +561,15 @@ class Server:
         n_batched = sum(len(b["rids"]) for b in batch_log)
         stats = []
         for rep in self.replicas:
+            health = lc.of(rep)
             stats.append(ReplicaStats(
                 replica=rep.replica_id, board=rep.board.name, rung=rep.rung,
                 bitstream_cache=rep.bitstream_cache, batches=rep.batches,
                 images=rep.images, busy_us=rep.busy_us,
                 utilization=rep.busy_us / makespan if makespan else 0.0,
+                state=health.state, failures=health.failures,
+                refills=health.refills,
+                timeline=[dict(t) for t in health.timeline],
             ))
         return ServeMetrics(
             requests=len(responses),
@@ -357,5 +586,11 @@ class Server:
             batch_histogram=histogram,
             rung_counts=rungs,
             peak_queue_depth=peak_queue,
+            requeues=requeues,
+            breaker_trips=lc.breaker_trips,
+            deaths=lc.deaths,
+            refills=lc.refills,
+            watchdog_trips=watchdog_trips,
+            availability=lc.availability(max(0.0, t1 - t0)),
             per_replica=stats,
         )

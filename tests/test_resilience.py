@@ -5,6 +5,8 @@ the cache, DSE and runtime."""
 import pickle
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.device.boards import STRATIX10_MX, STRATIX10_SX
 from repro.errors import (
@@ -27,6 +29,8 @@ from repro.resilience import (
     ChannelWaitGraph,
     Fault,
     FaultPlan,
+    ResilienceEvent,
+    ResilienceLog,
     RetryPolicy,
     VirtualClock,
     Watchdog,
@@ -346,3 +350,98 @@ class TestSweepFaults:
         ):
             with pytest.raises(FitError, match="AOCError"):
                 autotune_folded(fused, STRATIX10_SX, cache=False)
+
+
+# ---------------------------------------------------------------------------
+# property tests: backoff jitter determinism and event serialization
+
+
+class TestBackoffProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        attempts=st.integers(min_value=1, max_value=8),
+        jitter=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_is_a_pure_function_of_policy_and_seed(
+        self, seed, attempts, jitter
+    ):
+        policy = RetryPolicy(
+            attempts=attempts, base_us=100.0, multiplier=2.0, jitter=jitter
+        )
+        first = backoff_schedule(policy, seed=seed)
+        second = backoff_schedule(policy, seed=seed)
+        assert first == second
+        assert len(first) == attempts - 1
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        jitter=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_jitter_stays_inside_its_envelope_for_every_seed(
+        self, seed, jitter
+    ):
+        policy = RetryPolicy(
+            attempts=6, base_us=50.0, multiplier=3.0, max_us=1000.0,
+            jitter=jitter,
+        )
+        for i, delay in enumerate(backoff_schedule(policy, seed=seed)):
+            nominal = min(1000.0, 50.0 * 3.0**i)
+            assert nominal * (1.0 - jitter) <= delay
+            assert delay <= nominal * (1.0 + jitter)
+
+
+_event_data = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=24),
+        st.booleans(),
+    ),
+    max_size=4,
+)
+
+_events = st.builds(
+    ResilienceEvent,
+    kind=st.sampled_from(
+        ["fault", "retry", "suspect", "breaker", "dead", "reprovision",
+         "refill", "requeue", "watchdog", "shed"]
+    ),
+    site=st.sampled_from(["serve", "synthesize", "channel", "device"]),
+    detail=st.text(max_size=64),
+    attempt=st.integers(min_value=0, max_value=100),
+    t_us=st.floats(
+        min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+    data=_event_data,
+)
+
+
+class TestEventSerialization:
+    @given(event=_events)
+    @settings(max_examples=50, deadline=None)
+    def test_event_dict_round_trip(self, event):
+        assert ResilienceEvent.from_dict(event.to_dict()) == event
+
+    @given(events=st.lists(_events, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_log_json_round_trip(self, events):
+        original = ResilienceLog()
+        for e in events:
+            original.record(e)
+        restored = ResilienceLog.from_json(original.to_json())
+        assert len(restored) == len(original)
+        assert restored.since(0) == original.since(original.cursor() - len(original))
+        # and the round trip is a fixed point
+        assert restored.to_json() == original.to_json()
+
+    def test_restored_log_starts_at_base_zero(self):
+        original = ResilienceLog()
+        original.record(ResilienceEvent("fault", "serve", "x"))
+        original.clear()  # advances the base cursor
+        original.record(ResilienceEvent("refill", "serve", "y"))
+        restored = ResilienceLog.from_json(original.to_json())
+        assert restored.cursor() == 1
+        assert restored.since(0)[0].kind == "refill"

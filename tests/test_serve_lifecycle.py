@@ -1,0 +1,363 @@
+"""Tests for the serving-time replica health lifecycle (repro.serve.lifecycle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import ARRIA10, STRATIX10_SX
+from repro.errors import ReproError
+from repro.resilience import Fault, FaultPlan, LifecycleConfig
+from repro.resilience.events import log as resilience_log
+from repro.serve import (
+    DEAD,
+    DRAINING,
+    HEALTHY,
+    REPROVISIONING,
+    SUSPECT,
+    LifecycleManager,
+    Replica,
+    RequestTrace,
+    ServeConfig,
+    Server,
+    chaos_plan,
+    provision_replicas,
+    reprovision_replica,
+)
+
+LENET_SHAPE = (1, 28, 28)
+
+
+def _pool(n):
+    """Cheap CPU-rung replicas — the state machine is rung-agnostic."""
+    return [
+        Replica(replica_id=i, network="lenet5", board=ARRIA10, rung="cpu")
+        for i in range(n)
+    ]
+
+
+def _trace(n=24, rate=3000.0, seed=11):
+    return RequestTrace.poisson("lenet5", n, rate, LENET_SHAPE, seed=seed)
+
+
+def _server(n_replicas=2, lifecycle=None, **cfg):
+    reps = provision_replicas("lenet5", STRATIX10_SX, n_replicas)
+    defaults = dict(window_us=200.0, max_batch=4, max_queue=64)
+    defaults.update(cfg)
+    return Server(reps, ServeConfig(lifecycle=lifecycle, **defaults))
+
+
+# ---------------------------------------------------------------------------
+# the state machine in isolation
+
+
+class TestLifecycleManager:
+    def test_failure_marks_suspect_and_success_recovers(self):
+        reps = _pool(1)
+        lc = LifecycleManager(reps, LifecycleConfig(breaker_failures=3))
+        lc.on_failure(reps[0], 10.0, "boom")
+        assert lc.of(reps[0]).state == SUSPECT
+        lc.on_success(reps[0], 20.0)
+        assert lc.of(reps[0]).state == HEALTHY
+        assert lc.of(reps[0]).consecutive_failures == 0
+        states = [t["state"] for t in lc.of(reps[0]).timeline]
+        assert states == [SUSPECT, HEALTHY]
+
+    def test_breaker_trips_after_consecutive_failures(self):
+        reps = _pool(1)
+        lc = LifecycleManager(reps, LifecycleConfig(breaker_failures=2))
+        lc.on_failure(reps[0], 1.0, "first")
+        assert lc.of(reps[0]).state == SUSPECT
+        lc.on_failure(reps[0], 2.0, "second")
+        # nothing in flight: DRAINING collapses straight to DEAD
+        assert lc.of(reps[0]).state == DEAD
+        assert lc.breaker_trips == 1
+        assert lc.deaths == 1
+        states = [t["state"] for t in lc.of(reps[0]).timeline]
+        assert states == [SUSPECT, DRAINING, DEAD]
+
+    def test_success_between_failures_resets_the_streak(self):
+        reps = _pool(1)
+        lc = LifecycleManager(reps, LifecycleConfig(breaker_failures=2))
+        lc.on_failure(reps[0], 1.0, "x")
+        lc.on_success(reps[0], 2.0)
+        lc.on_failure(reps[0], 3.0, "y")
+        assert lc.of(reps[0]).state == SUSPECT  # streak is 1, not 2
+        assert lc.breaker_trips == 0
+
+    def test_draining_waits_for_inflight_batch(self):
+        reps = _pool(1)
+        lc = LifecycleManager(reps, LifecycleConfig(breaker_failures=1))
+        lc.of(reps[0]).inflight = 1
+        lc.on_failure(reps[0], 1.0, "z")
+        assert lc.of(reps[0]).state == DRAINING
+        lc.of(reps[0]).inflight = 0
+        lc.on_drained(reps[0], 2.0)
+        assert lc.of(reps[0]).state == DEAD
+
+    def test_refill_budget_and_giveup(self):
+        reps = _pool(1)
+        lc = LifecycleManager(
+            reps, LifecycleConfig(max_refills=1, reprovision_us=500.0)
+        )
+        lc.kill(reps[0], 10.0, "die")
+        ready = lc.want_refill(reps[0], 10.0)
+        assert ready == 510.0
+        assert lc.of(reps[0]).state == REPROVISIONING
+        lc.on_refill_ready(reps[0], ready)
+        assert lc.of(reps[0]).state == HEALTHY
+        assert lc.refills == 1
+        lc.kill(reps[0], 600.0, "die again")
+        assert lc.want_refill(reps[0], 600.0) is None  # budget exhausted
+        assert lc.of(reps[0]).state == DEAD
+
+    def test_want_refill_only_applies_to_dead_replicas(self):
+        reps = _pool(1)
+        lc = LifecycleManager(reps)
+        assert lc.want_refill(reps[0], 0.0) is None
+
+    def test_pick_skips_out_of_rotation_replicas(self):
+        reps = _pool(2)
+        lc = LifecycleManager(reps)
+        lc.kill(reps[0], 0.0, "die")
+        assert lc.pick("lenet5", 1.0) is reps[1]
+        assert lc.pick("mobilenet_v1", 1.0) is None
+
+    def test_pool_alive_counts_reprovisioning_not_dead(self):
+        reps = _pool(2)
+        lc = LifecycleManager(reps, LifecycleConfig(max_refills=1))
+        lc.kill(reps[0], 0.0, "die")
+        lc.kill(reps[1], 0.0, "die")
+        assert not lc.pool_alive("lenet5")
+        assert lc.want_refill(reps[0], 0.0) is not None
+        assert lc.pool_alive("lenet5")  # a refill is pending
+
+    def test_availability_accounts_in_rotation_time(self):
+        reps = _pool(1)
+        lc = LifecycleManager(reps)
+        lc.kill(reps[0], 250.0, "die")  # in rotation for the first quarter
+        lc.finalize(1000.0)
+        assert lc.availability(1000.0) == pytest.approx(0.25)
+
+    def test_transitions_record_serve_events(self):
+        reps = _pool(1)
+        cursor = resilience_log().cursor()
+        lc = LifecycleManager(reps, LifecycleConfig(breaker_failures=2))
+        lc.on_failure(reps[0], 1.0, "a")
+        lc.on_failure(reps[0], 2.0, "b")
+        kinds = [
+            e.kind for e in resilience_log().since(cursor) if e.site == "serve"
+        ]
+        assert kinds == ["suspect", "breaker", "dead"]
+
+    def test_lifecycle_config_validation(self):
+        with pytest.raises(ReproError):
+            LifecycleConfig(breaker_failures=0)
+        with pytest.raises(ReproError):
+            LifecycleConfig(retry_budget=-1)
+        with pytest.raises(ReproError):
+            LifecycleConfig(batch_budget_us=0.0)
+
+
+# ---------------------------------------------------------------------------
+# fault-driven serving behaviour
+
+
+class TestServingFaults:
+    def test_dispatch_rejects_trip_breaker_and_refill_recovers(self):
+        server = _server(2, lifecycle=LifecycleConfig(
+            breaker_failures=2, reprovision_us=2000.0,
+        ))
+        plan = FaultPlan(
+            Fault("dispatch", "reject", times=2, match="replica0"), seed=0
+        )
+        with plan:
+            result = server.run(_trace(24))
+        assert result.metrics.completed == 24
+        assert result.metrics.breaker_trips == 1
+        assert result.metrics.refills == 1
+        stats = result.metrics.per_replica[0]
+        states = [t["state"] for t in stats.timeline]
+        assert states == [SUSPECT, DRAINING, DEAD, REPROVISIONING, HEALTHY]
+        assert stats.state == HEALTHY
+
+    def test_mid_flight_death_requeues_and_answers_exactly_once(self):
+        server = _server(2)
+        with FaultPlan(
+            Fault("replica", "die", times=1, match="complete:lenet5:replica0"),
+            seed=0,
+        ):
+            result = server.run(_trace(24))
+        assert result.metrics.completed == 24
+        assert result.metrics.deaths >= 1
+        assert result.metrics.requeues > 0
+        # the lost batch's requests were answered by another replica
+        requeued = [r for r in result.responses if r.requeues > 0]
+        assert requeued and all(r.status == "ok" for r in requeued)
+        assert sorted(r.rid for r in result.responses) == list(range(24))
+
+    def test_run_batch_crash_is_recovered(self):
+        server = _server(2)
+        with FaultPlan(
+            Fault("run_batch", "crash", times=1, param=0.5, match="replica0"),
+            seed=0,
+        ):
+            result = server.run(_trace(24))
+        assert result.metrics.completed == 24
+        assert result.metrics.requeues > 0
+        crashed = [b for b in result.batches if b["outcome"] == "crash"]
+        assert len(crashed) == 1
+
+    def test_hang_routes_through_serving_watchdog(self):
+        server = _server(2)
+        cursor = resilience_log().cursor()
+        with FaultPlan(
+            Fault("run_batch", "hang", times=1, match="replica0"), seed=0
+        ):
+            result = server.run(_trace(24))
+        assert result.metrics.completed == 24  # the trace survives the hang
+        assert result.metrics.watchdog_trips == 1
+        suspects = [
+            e for e in resilience_log().since(cursor)
+            if e.site == "serve" and e.kind == "watchdog"
+        ]
+        assert suspects, "watchdog expiry must land on the serve event log"
+        assert result.metrics.per_replica[0].failures >= 1
+
+    def test_retry_budget_exhaustion_sheds_to_cpu(self):
+        server = _server(
+            1,
+            lifecycle=LifecycleConfig(
+                retry_budget=1, breaker_failures=100, max_refills=0,
+            ),
+        )
+        # every dispatch to the only replica hangs: watchdog + requeue
+        # until the budget runs out, then the requests shed to the CPU
+        with FaultPlan(
+            Fault("run_batch", "hang", times=1000, match="replica0"), seed=0
+        ):
+            result = server.run(_trace(8))
+        assert result.metrics.completed == 8
+        assert all(r.status == "shed" and r.rung == "cpu"
+                   for r in result.responses)
+        assert all(r.requeues == 2 for r in result.responses)
+
+    def test_dead_pool_falls_back_to_cpu_sideline(self):
+        server = _server(1, lifecycle=LifecycleConfig(max_refills=0))
+        cursor = resilience_log().cursor()
+        with FaultPlan(
+            Fault("replica", "die", times=1, match="dispatch:"), seed=0
+        ):
+            result = server.run(_trace(16))
+        assert result.metrics.completed == 16
+        assert all(r.rung == "cpu" for r in result.responses)
+        kinds = [
+            e.kind for e in resilience_log().since(cursor) if e.site == "serve"
+        ]
+        assert "fallback" in kinds and "giveup" in kinds
+
+    def test_chaos_run_is_deterministic(self):
+        def run_once():
+            server = _server(3, lifecycle=LifecycleConfig(
+                reprovision_us=5000.0,
+            ))
+            with chaos_plan("lenet5", 3, seed=0):
+                return server.run(_trace(48, rate=2500.0))
+
+        a, b = run_once(), run_once()
+        assert a.fingerprint() == b.fingerprint()
+        assert a.metrics.deaths == b.metrics.deaths
+        assert a.metrics.requeues == b.metrics.requeues
+
+    def test_chaos_logits_match_fault_free_run(self):
+        trace = _trace(48, rate=2500.0)
+        base = _server(3).run(trace)
+        chaos_server = _server(3, lifecycle=LifecycleConfig(
+            reprovision_us=5000.0,
+        ))
+        with chaos_plan("lenet5", 3, seed=7) as plan:
+            chaos = chaos_server.run(trace)
+        assert plan.fired, "the chaos plan must actually inject faults"
+        for got, want in zip(chaos.responses, base.responses):
+            assert np.array_equal(got.logits, want.logits)
+
+    def test_lifecycle_counters_reset_between_runs(self):
+        server = _server(2, lifecycle=LifecycleConfig(reprovision_us=500.0))
+        trace = _trace(16)
+        with FaultPlan(
+            Fault("replica", "die", times=1, match="dispatch:"), seed=0
+        ):
+            faulted = server.run(trace)
+        assert faulted.metrics.deaths == 1
+        clean = server.run(trace)
+        assert clean.metrics.deaths == 0
+        assert clean.metrics.availability == 1.0
+        assert all(not s.timeline for s in clean.metrics.per_replica)
+
+
+# ---------------------------------------------------------------------------
+# provisioning and refill
+
+
+class TestProvisioning:
+    def test_all_device_builds_failing_degrades_to_cpu_pool(self, monkeypatch):
+        import repro.serve.replica as replica_mod
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("synthesis cluster is down")
+
+        monkeypatch.setattr(replica_mod, "build_rung", explode)
+        cursor = resilience_log().cursor()
+        pool = provision_replicas("lenet5", ARRIA10, 2, cache=False)
+        assert [r.rung for r in pool] == ["cpu", "cpu"]
+        kinds = [
+            e.kind for e in resilience_log().since(cursor) if e.site == "serve"
+        ]
+        assert "degrade" in kinds
+        # and the CPU-only pool still serves a trace end to end
+        result = Server(pool, ServeConfig(window_us=200.0)).run(_trace(8))
+        assert result.metrics.completed == 8
+
+    def test_reprovision_rebuilds_in_place(self):
+        replica = provision_replicas("lenet5", STRATIX10_SX, 1)[0]
+        replica.deployment = None
+        replica.rung = "cpu"
+        reprovision_replica(replica)
+        assert replica.rung == "pipelined"
+        assert replica.deployment is not None
+
+    def test_reprovision_failure_falls_to_cpu(self, monkeypatch):
+        import repro.serve.replica as replica_mod
+
+        replica = provision_replicas("lenet5", STRATIX10_SX, 1)[0]
+
+        def explode(*args, **kwargs):
+            raise ReproError("no boards left")
+
+        monkeypatch.setattr(replica_mod, "build_rung", explode)
+        reprovision_replica(replica)
+        assert replica.rung == "cpu"
+        assert replica.deployment is None
+
+
+# ---------------------------------------------------------------------------
+# the chaos plan helper
+
+
+class TestChaosPlan:
+    def test_plan_targets_distinct_victims(self):
+        plan = chaos_plan("lenet5", 3, seed=0)
+        sites = [(f.site, f.kind) for f in plan.faults]
+        assert ("dispatch", "reject") in sites
+        assert ("run_batch", "crash") in sites
+        assert ("run_batch", "hang") in sites
+        assert sites.count(("replica", "die")) == 2
+        assert plan.seed == 0
+
+    def test_plan_seed_defaults_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        assert chaos_plan("lenet5", 2).seed == 42
+
+    def test_single_replica_plan_stays_in_range(self):
+        plan = chaos_plan("lenet5", 1, seed=0)
+        assert all("replica0" in f.match for f in plan.faults if f.match)
