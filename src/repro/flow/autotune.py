@@ -13,15 +13,23 @@ the performance of individual layers" (thesis Section 4.11).
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aoc.constants import AOCConstants, DEFAULT_CONSTANTS
 from repro.device.boards import Board
 from repro.errors import AOCError, FitError
-from repro.flow.dse import divides_all
+from repro.flow.dse import (
+    _open_worker_cache,
+    _run_pool,
+    divides_all,
+    merge_disk_entries,
+    shared_cache_dir,
+)
 from repro.flow.folded import FoldedConfig
 from repro.flow.stages import CacheOption, folded_flow, resolve_cache
+from repro.pipeline.cache import CompileCache
 from repro.relay.passes import FusedGraph
 from repro.runtime.simulate import simulate_folded
 from repro.topi import ConvTiling
@@ -98,6 +106,70 @@ def _evaluate(
     return fps, None
 
 
+def _dims_for(gid: GroupId, ext: Dict[str, List[int]]) -> Dict[str, List[int]]:
+    """Tiling dimensions the ascent explores for one conv group."""
+    kind, f, _ = gid
+    dims = {
+        "w2vec": _candidates(ext["w2"], cap=16),
+        "c1vec": _candidates(ext["c1"]),
+    }
+    if kind == "conv" and f == 1:
+        dims["c2vec"] = _candidates(ext["c2"])
+    return dims
+
+
+def _with_dim(current: ConvTiling, dim: str, value: int) -> ConvTiling:
+    """``current`` with one tiling dimension replaced."""
+    return ConvTiling(
+        w2vec=value if dim == "w2vec" else current.w2vec,
+        c2vec=value if dim == "c2vec" else current.c2vec,
+        c1vec=value if dim == "c1vec" else current.c1vec,
+        unroll_ff=current.unroll_ff,
+    )
+
+
+def _warm_task(config: FoldedConfig) -> bool:
+    """Pool worker: build one trial config into the shared disk cache."""
+    from repro.flow import dse
+
+    fused, board, constants, cache_dir = dse._WORKER_CTX
+    cache = _open_worker_cache(cache_dir)
+    fps, _ = _evaluate(
+        fused, board, config, constants,
+        cache if cache is not None else False,
+    )
+    return fps is not None
+
+
+def _prewarm_round(
+    fused: FusedGraph,
+    board: Board,
+    constants: AOCConstants,
+    resolved: Optional[CompileCache],
+    trial_configs: List[FoldedConfig],
+    workers: int,
+) -> None:
+    """Synthesize a round's trial configurations across a process pool.
+
+    Results land in a disk cache shared with (or merged into) the
+    caller's resolved cache, so the serial ascent that follows replays
+    each trial's ``synthesize`` stage as a cache hit.  Purely a warming
+    pass: the ascent's decisions never depend on it.
+    """
+    if not trial_configs or resolved is None:
+        return
+    cache_dir, ephemeral = shared_cache_dir(resolved)
+    try:
+        _run_pool(
+            _warm_task, (fused, board, constants, cache_dir),
+            trial_configs, workers,
+        )
+    finally:
+        if ephemeral:
+            merge_disk_entries(resolved, cache_dir)
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 def autotune_folded(
     fused: FusedGraph,
     board: Board,
@@ -106,6 +178,7 @@ def autotune_folded(
     max_rounds: int = 4,
     cache: CacheOption = None,
     prune: bool = False,
+    workers: int = 1,
 ) -> TuneResult:
     """Greedy coordinate-ascent tiling search over all conv groups.
 
@@ -117,6 +190,14 @@ def autotune_folded(
     or dominated by the group's *current* tiling (so it cannot beat the
     incumbent FPS) is skipped without building — counted and listed
     under ``pruned_static``/``pruned``.
+
+    ``workers > 1`` parallelizes candidate *synthesis*, not the search:
+    before each round, the trials that round will consider (enumerated
+    against the round-entry configuration) are built across a process
+    pool into a cache shared with this run, so the serial ascent mostly
+    replays them as hits.  The ascent itself — and therefore the chosen
+    configuration — is identical to ``workers=1``.  Pre-warming needs a
+    real cache to rendezvous in, so it is skipped under ``cache=False``.
     """
     resolved = resolve_cache(cache)
     eval_cache: CacheOption = resolved if resolved is not None else False
@@ -159,27 +240,47 @@ def autotune_folded(
             f"starting configuration does not fit/route: {reason}"
         )
 
-    for _ in range(max_rounds):
-        improved = False
+    def _round_trial_configs() -> List[FoldedConfig]:
+        """Whole-network configs the coming round will try, enumerated
+        against the round-entry tilings (exact for trials up to each
+        group's first accepted move; best-effort after)."""
+        trials: List[FoldedConfig] = []
         for gid, ext in extents.items():
-            kind, f, s = gid
             current = config.conv_tilings.get(gid, ConvTiling())
-            dims = {
-                "w2vec": _candidates(ext["w2"], cap=16),
-                "c1vec": _candidates(ext["c1"]),
-            }
-            if kind == "conv" and f == 1:
-                dims["c2vec"] = _candidates(ext["c2"])
-            for dim, options in dims.items():
+            for dim, options in _dims_for(gid, ext).items():
                 for value in options:
                     if value == getattr(current, dim):
                         continue
-                    trial = ConvTiling(
-                        w2vec=value if dim == "w2vec" else current.w2vec,
-                        c2vec=value if dim == "c2vec" else current.c2vec,
-                        c1vec=value if dim == "c1vec" else current.c1vec,
-                        unroll_ff=current.unroll_ff,
+                    trial = _with_dim(current, dim, value)
+                    if prune and _prune_trial(
+                        _profile, gid, current, trial, board
+                    ) is not None:
+                        continue
+                    trials.append(
+                        FoldedConfig(
+                            conv_tilings={**config.conv_tilings, gid: trial},
+                            dense_unroll=config.dense_unroll,
+                            pin_unit_stride=config.pin_unit_stride,
+                            recipe_deltas=dict(config.recipe_deltas),
+                            recipe_overrides=dict(config.recipe_overrides),
+                        )
                     )
+        return trials
+
+    for _ in range(max_rounds):
+        if workers > 1:
+            _prewarm_round(
+                fused, board, constants, resolved,
+                _round_trial_configs(), workers,
+            )
+        improved = False
+        for gid, ext in extents.items():
+            current = config.conv_tilings.get(gid, ConvTiling())
+            for dim, options in _dims_for(gid, ext).items():
+                for value in options:
+                    if value == getattr(current, dim):
+                        continue
+                    trial = _with_dim(current, dim, value)
                     if prune:
                         skip = _prune_trial(
                             _profile, gid, current, trial, board

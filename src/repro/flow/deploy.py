@@ -172,6 +172,31 @@ class Deployment:
         y = run_fused_graph(self.fused, x, self.params)
         return _corrupt_buffer(y, self.network)
 
+    def forward_functional(self, x: np.ndarray) -> np.ndarray:
+        """Functional inference through the *generated kernels* themselves.
+
+        Runs the compiled program under the vectorized IR interpreter
+        (:mod:`repro.ir.vinterp`) — channel FIFOs, symbolic bindings and
+        all — instead of the fused-graph NumPy executor.  Probes the same
+        ``buffer`` fault site as :meth:`forward` so the serving layer's
+        logits cross-checks behave identically on either path.
+        """
+        from repro.runtime.executor import (
+            run_folded_functional,
+            run_pipelined_functional,
+        )
+
+        if self.mode == "pipelined":
+            y = run_pipelined_functional(
+                self.bitstream.program, self.plan, self.fused, x, self.params
+            )
+        else:
+            y = run_folded_functional(
+                self.bitstream.program, self.plan, self.fused, x, self.params
+            )
+        out_shape = self.fused.graph.output.out_shape
+        return _corrupt_buffer(y.reshape(out_shape), self.network)
+
     def classify(self, x: np.ndarray) -> int:
         """Class index for one input image."""
         return int(np.argmax(self.forward(x)))

@@ -21,6 +21,9 @@ hit/miss counts.
 
 from __future__ import annotations
 
+import multiprocessing
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -29,6 +32,7 @@ from repro.device.boards import Board
 from repro.errors import AOCError, FitError, RoutingError
 from repro.flow.folded import FoldedConfig
 from repro.flow.stages import CacheOption, folded_flow, resolve_cache
+from repro.pipeline.cache import CompileCache, DiskBackend, MemoryBackend, _MISS
 from repro.relay.passes import FusedGraph
 from repro.runtime.simulate import simulate_folded
 from repro.schedule import ScheduleRecipe
@@ -213,6 +217,101 @@ def evaluate_tiling(
     )
 
 
+# ---------------------------------------------------------------------------
+# process-pool candidate synthesis
+#
+# Candidate builds are independent, so a sweep can fan them out over a
+# fork()ed worker pool.  Workers rendezvous through a *disk* compile
+# cache: source-identical candidates synthesize once pool-wide, and a
+# sweep sharing the caller's disk cache directory reuses prior runs.
+# Result order is deterministic (tasks are indexed and reassembled), so
+# a parallel sweep returns exactly the points a serial one does.
+
+#: per-worker context installed by the pool initializer
+_WORKER_CTX: Optional[Tuple] = None
+
+
+def _init_sweep_worker(fused, board, constants, cache_dir) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (fused, board, constants, cache_dir)
+
+
+def _open_worker_cache(cache_dir: Optional[str]) -> Optional[CompileCache]:
+    """A worker-local cache layered over the shared on-disk rendezvous."""
+    if cache_dir is None:
+        return None
+    return CompileCache(
+        backends=[MemoryBackend(32), DiskBackend(cache_dir)]
+    )
+
+
+def _sweep_task(task):
+    """Evaluate one indexed candidate in a pool worker."""
+    idx, group, tiling, base_config, autofix = task
+    fused, board, constants, cache_dir = _WORKER_CTX
+    cache = _open_worker_cache(cache_dir)
+    eff_base, fixed = base_config, False
+    if autofix:
+        eff_base, fixed = _autofix_candidate(
+            fused, board, group, tiling, base_config, constants
+        )
+    point = evaluate_tiling(
+        fused, board, group, tiling, base_config=eff_base,
+        constants=constants, cache=cache if cache is not None else False,
+    )
+    point.fixed = fixed
+    stats = cache.stats() if cache is not None else {"hits": 0, "misses": 0}
+    return idx, point, stats["hits"], stats["misses"]
+
+
+def shared_cache_dir(
+    resolved: Optional[CompileCache],
+) -> Tuple[Optional[str], bool]:
+    """Directory pool workers rendezvous in: ``(path, ephemeral)``.
+
+    Reuses the caller's disk backend when it has one; otherwise creates
+    a sweep-scoped temporary directory (still a rendezvous *within* the
+    sweep) whose entries are merged back into the caller's cache — and
+    the directory deleted — when the sweep finishes.
+    """
+    if resolved is not None:
+        for backend in resolved.backends:
+            if isinstance(backend, DiskBackend):
+                return str(backend.directory), False
+    return tempfile.mkdtemp(prefix="repro-sweep-cache-"), True
+
+
+def merge_disk_entries(
+    resolved: Optional[CompileCache], directory: str
+) -> None:
+    """Promote a temporary rendezvous directory into the caller's cache.
+
+    Probes backends directly (not :meth:`CompileCache.lookup`) so the
+    merge stays accounting-neutral for the caller's hit/miss stats.
+    """
+    if resolved is None:
+        return
+    disk = DiskBackend(directory)
+    for path in sorted(disk.directory.glob("*.pkl")):
+        key = path.stem
+        value = disk.get(key)
+        if value is _MISS:
+            continue
+        for backend in resolved.backends:
+            if backend.get(key) is not _MISS:
+                break
+        else:
+            resolved.store(key, value)
+
+
+def _run_pool(worker, initargs, tasks, workers: int):
+    """Fork a pool, run ``worker`` over ``tasks``, return ordered results."""
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(workers, initializer=_init_sweep_worker,
+                  initargs=initargs) as pool:
+        return pool.map(worker, tasks)
+
+
 def sweep_conv1x1(
     fused: FusedGraph,
     board: Board,
@@ -224,6 +323,7 @@ def sweep_conv1x1(
     prune: bool = False,
     base_config: Optional[FoldedConfig] = None,
     autofix: bool = False,
+    workers: int = 1,
 ) -> SweepSummary:
     """Sweep 1x1-conv tiling space (the Table 6.6 experiment, generalized).
 
@@ -239,6 +339,11 @@ def sweep_conv1x1(
     points are marked ``fixed`` and counted as ``fixed_static``.
     Returns the evaluated points plus the compile-cache hits/misses this
     sweep incurred.
+
+    With ``workers > 1`` surviving candidates are synthesized across a
+    fork()ed process pool rendezvousing through a shared disk compile
+    cache (see the module section above); point order and values match
+    the serial sweep, and the hit/miss counts aggregate the workers'.
     """
     from repro.flow.deploy import default_folded_config
 
@@ -263,7 +368,8 @@ def sweep_conv1x1(
             base.pin_unit_stride,
         )
 
-    points: List[DSEPoint] = []
+    points: List[Optional[DSEPoint]] = []
+    live: List[int] = []
     for i, tiling in enumerate(tilings):
         if decisions is not None and decisions[i].pruned:
             points.append(
@@ -273,6 +379,34 @@ def sweep_conv1x1(
                 )
             )
             continue
+        points.append(None)
+        live.append(i)
+
+    if workers > 1 and live:
+        cache_dir, ephemeral = shared_cache_dir(resolved)
+        try:
+            tasks = [
+                (i, ("conv", 1, 1), tilings[i], base, autofix) for i in live
+            ]
+            results = _run_pool(
+                _sweep_task, (fused, board, constants, cache_dir),
+                tasks, workers,
+            )
+            hits = misses = 0
+            for idx, point, h, m in results:
+                points[idx] = point
+                hits += h
+                misses += m
+        finally:
+            if ephemeral:
+                merge_disk_entries(resolved, cache_dir)
+                shutil.rmtree(cache_dir, ignore_errors=True)
+        return SweepSummary(
+            points=points, cache_hits=hits, cache_misses=misses
+        )
+
+    for i in live:
+        tiling = tilings[i]
         eff_base, fixed = base, False
         if autofix:
             eff_base, fixed = _autofix_candidate(
@@ -283,7 +417,7 @@ def sweep_conv1x1(
             base_config=eff_base, constants=constants, cache=point_cache,
         )
         point.fixed = fixed
-        points.append(point)
+        points[i] = point
 
     after = resolved.stats() if resolved is not None else before
     return SweepSummary(

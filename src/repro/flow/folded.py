@@ -369,9 +369,21 @@ def schedule_folded(
 
 
 def lower_folded(sched: FoldedSchedule) -> ir.Program:
-    """``lower`` stage: lower every scheduled kernel to statement IR."""
-    return ir.Program([spec.lower() for spec in sched.kernels],
-                      sched.program_name)
+    """``lower`` stage: lower every scheduled kernel to statement IR.
+
+    Lowering is incremental (:mod:`repro.flow.incremental`): a kernel
+    whose schedule fingerprint was lowered before — e.g. every untouched
+    group when a DSE step changes one tiling — replays its IR from the
+    per-kernel cache; this run's hit/miss/uncached deltas land on the
+    program for the ``lower`` stage trace counters.
+    """
+    from repro.flow.incremental import lower_cache_stats, lower_kernels
+
+    before = lower_cache_stats()
+    program = ir.Program(lower_kernels(sched.kernels), sched.program_name)
+    after = lower_cache_stats()
+    program.lower_cache = {k: after[k] - before[k] for k in after}
+    return program
 
 
 def plan_folded(fused: FusedGraph, sched: FoldedSchedule) -> FoldedPlan:

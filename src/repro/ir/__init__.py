@@ -90,10 +90,12 @@ from repro.ir.functor import (
 )
 from repro.ir.printer import expr_str, stmt_str
 from repro.ir.interp import ChannelState, Interpreter, run_kernel, run_program_sequential
+from repro.ir.vinterp import BandEvent, VectorizedInterpreter, run_kernel_vectorized
 from repro.ir.simplify import simplify_kernel, simplify_stmt
 
 __all__ = [
-    "Add", "And", "Allocate", "AttrStmt", "BOOL", "Buffer", "Call", "Cast",
+    "Add", "And", "Allocate", "AttrStmt", "BOOL", "BandEvent", "Buffer",
+    "Call", "Cast",
     "Channel", "ChannelRead", "ChannelState", "ChannelWrite", "ComputeOp",
     "Div", "EQ", "Evaluate", "Expr", "ExprMutator", "ExprVisitor", "FLOAT32",
     "FloatImm", "FloorDiv", "For", "ForKind", "GE", "GT", "IfThenElse",
@@ -103,7 +105,8 @@ __all__ = [
     "Sub", "Tensor", "Var", "compute", "const", "convert",
     "count_flops_expr", "eval_int", "exp", "expr_str", "fmax", "fmin",
     "free_vars", "max_reduce", "placeholder", "reduce_axis",
-    "reset_fresh_names", "run_kernel",
+    "reset_fresh_names", "run_kernel", "run_kernel_vectorized",
     "run_program_sequential", "seq", "stmt_str", "stride_of",
+    "VectorizedInterpreter",
     "simplify_kernel", "simplify_stmt", "structural_equal", "substitute", "substitute_stmt", "sum",
 ]

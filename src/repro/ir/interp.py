@@ -12,9 +12,7 @@ functional path for whole networks lives in :mod:`repro.runtime.executor`.
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,34 +24,76 @@ from repro.ir.kernel import Kernel
 
 _F32 = np.float32
 
+# Scalar intrinsics run through the float32 NumPy ufuncs, NOT ``math.*``:
+# ``math.exp`` would compute in float64 and round once at the end, which
+# differs in the last ulp from the single-rounding float32 ufunc.  Routing
+# both the scalar and vectorized interpreters through the same ufuncs makes
+# them agree bit-for-bit by construction.
 _INTRINSICS = {
-    "exp": math.exp,
-    "sqrt": math.sqrt,
-    "fabs": abs,
-    "floor": math.floor,
-    "ceil": math.ceil,
-    "tanh": math.tanh,
-    "log": math.log,
+    "exp": np.exp,
+    "sqrt": np.sqrt,
+    "fabs": np.abs,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "tanh": np.tanh,
+    "log": np.log,
 }
 
 
 class ChannelState:
-    """FIFO state shared between interpreted kernels."""
+    """FIFO state shared between interpreted kernels.
+
+    Backed by a list plus a read cursor so the vectorized interpreter can
+    push/pop whole array chunks (:meth:`write_chunk` / :meth:`read_chunk`)
+    without per-element deque traffic; the scalar :meth:`write` /
+    :meth:`read` API is unchanged.  Values are stored as Python floats,
+    which hold every float32 exactly, so chunk round-trips are bit-exact.
+    """
 
     def __init__(self, channel: Channel) -> None:
         self.channel = channel
-        self.fifo: Deque[float] = deque()
+        self._items: List[float] = []
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head
+
+    def _compact(self) -> None:
+        if self._head > 4096 and self._head * 2 > len(self._items):
+            del self._items[: self._head]
+            self._head = 0
 
     def write(self, value: float) -> None:
-        self.fifo.append(value)
+        self._items.append(float(value))
 
     def read(self) -> float:
-        if not self.fifo:
+        if self._head >= len(self._items):
             raise RuntimeSimError(
                 f"read from empty channel {self.channel.name}: interpreted "
                 "kernels must be run producer-first"
             )
-        return self.fifo.popleft()
+        value = self._items[self._head]
+        self._head += 1
+        self._compact()
+        return _F32(value)
+
+    def write_chunk(self, values: np.ndarray) -> None:
+        """Append a flat float32 array, preserving element order."""
+        self._items.extend(np.asarray(values, dtype=_F32).ravel().tolist())
+
+    def read_chunk(self, n: int) -> np.ndarray:
+        """Pop the next ``n`` values as a float32 array (FIFO order)."""
+        if len(self) < n:
+            raise RuntimeSimError(
+                f"read from empty channel {self.channel.name}: interpreted "
+                "kernels must be run producer-first"
+            )
+        out = np.array(
+            self._items[self._head : self._head + n], dtype=_F32
+        )
+        self._head += n
+        self._compact()
+        return out
 
 
 class Interpreter:
@@ -94,6 +134,10 @@ class Interpreter:
                     self.buffers[buf.name] = np.zeros(n, dtype=_F32)
                     continue
                 raise RuntimeSimError(f"missing buffer {buf.name}")
+        # bindings may come from an alpha-equivalent schedule build when
+        # the kernel replays from the per-kernel lower cache — adopt
+        # same-named entries onto this kernel's own vars
+        self.env.update(kernel.bind_by_name(self.env))
         for var in kernel.scalar_args:
             if var not in self.env:
                 raise RuntimeSimError(f"missing scalar argument {var.name}")
@@ -204,7 +248,7 @@ class Interpreter:
                 return self._eval(e.then_value)
             return self._eval(e.else_value)
         if isinstance(e, _e.Call):
-            args = [float(self._eval(a)) for a in e.args]
+            args = [_F32(self._eval(a)) for a in e.args]
             return _F32(_INTRINSICS[e.name](*args))
         raise RuntimeSimError(f"cannot evaluate {type(e).__name__}")
 

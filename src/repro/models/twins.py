@@ -1,0 +1,122 @@
+"""Reduced *twin* networks for interpreter-level verification.
+
+The full MobileNetV1/ResNet-18 graphs are intractable for the scalar IR
+interpreter (hundreds of millions of loop iterations at 224x224), so
+they cannot anchor an end-to-end ``vectorized == scalar`` soundness
+check directly.  Each twin here is a shape-reduced graph built from the
+**same operator species** as its full network: it instantiates every
+parameterized kernel group the full network compiles to (same group
+keys, hence byte-identical kernel *names*, and — when built with the
+full network's :func:`~repro.flow.deploy.default_folded_config` — the
+same schedule recipes), plus reduced static kernels of the same op
+kinds (stem conv, pooling, global average pool, dense, softmax).
+
+Twin shapes are chosen to respect the thesis tiling divisibility rules
+(``w2vec=7`` wants output widths in {7, 14}, pointwise ``c1vec``/
+``c2vec`` want channel counts divisible by up to 32), so the symbolic
+group kernels execute with realistic bindings rather than degenerate
+ones.  Tests assert that the parameterized kernel names of a twin build
+are a superset of the full network's, so species coverage cannot drift
+silently as the models evolve.
+"""
+
+from __future__ import annotations
+
+from repro.relay.graph import Graph, GraphBuilder
+
+__all__ = ["mobilenet_v1_twin", "resnet18_twin", "TWINS"]
+
+
+def mobilenet_v1_twin() -> Graph:
+    """MobileNetV1 species at toy scale (input 1x57x57, <0.5 MFLOPs).
+
+    Covers the full network's parameterized groups — pointwise 1x1 conv
+    (relu6), depthwise 3x3 at strides 1 and 2, pads (0,1) and (1,1) —
+    each at least twice so grouping kicks in, plus a static stem conv.
+    """
+    g = GraphBuilder("mobilenet_v1_twin")
+    x = g.input((1, 57, 57))
+    x = g.pad(x, (0, 1), name="pad_conv1")
+    x = g.conv2d(x, filters=8, field=3, stride=2, name="conv1")  # static
+    x = g.relu6(x)
+    # two stride-2 depthwise stages: 28 -> 14 -> 7
+    x = g.pad(x, (0, 1), name="pad_dw1")
+    x = g.depthwise_conv2d(x, field=3, stride=2, name="dw1")
+    x = g.relu6(x)
+    x = g.pad(x, (0, 1), name="pad_dw2")
+    x = g.depthwise_conv2d(x, field=3, stride=2, name="dw2")
+    x = g.relu6(x)
+    x = g.conv2d(x, filters=32, field=1, name="pw1")
+    x = g.relu6(x)
+    # two stride-1 depthwise stages at 7x7
+    x = g.pad(x, 1, name="pad_dw3")
+    x = g.depthwise_conv2d(x, field=3, stride=1, name="dw3")
+    x = g.relu6(x)
+    x = g.conv2d(x, filters=32, field=1, name="pw2")
+    x = g.relu6(x)
+    x = g.pad(x, 1, name="pad_dw4")
+    x = g.depthwise_conv2d(x, field=3, stride=1, name="dw4")
+    x = g.relu6(x)
+    x = g.global_avgpool(x, name="gap")
+    x = g.dense(x, 10, name="fc")
+    x = g.softmax(x, name="softmax")
+    return g.build()
+
+
+def _twin_block(g: GraphBuilder, x, filters: int, stride: int, name: str):
+    """A basic residual block, mirroring :func:`repro.models.resnet`."""
+    shortcut = x
+    if stride != 1 or shortcut.out_shape[0] != filters:
+        shortcut = g.conv2d(
+            shortcut, filters=filters, field=1, stride=stride,
+            name=f"{name}_proj",
+        )
+    if stride == 2:
+        x = g.pad(x, (0, 1), name=f"{name}_pad1")
+    else:
+        x = g.pad(x, 1, name=f"{name}_pad1")
+    y = g.conv2d(x, filters=filters, field=3, stride=stride,
+                 name=f"{name}_conv1")
+    y = g.relu(y)
+    y = g.pad(y, 1, name=f"{name}_pad2")
+    y = g.conv2d(y, filters=filters, field=3, stride=1,
+                 name=f"{name}_conv2")
+    y = g.add(y, shortcut, name=f"{name}_add")
+    y = g.relu(y)
+    return y
+
+
+def resnet18_twin() -> Graph:
+    """ResNet-18 species at toy scale (input 1x55x55, ~1 MFLOP).
+
+    Two projected stride-2 residual blocks (28 -> 14 -> 7) cover the
+    3x3 s2, residual 3x3 s1 and 1x1 s2 projection groups twice each;
+    two plain 3x3 s1 convolutions cover the non-residual group.  The
+    stem uses a 5x5 conv so it stays a static kernel like the full
+    network's 7x7 (a 3x3 stem would join a parameterized group).
+    """
+    g = GraphBuilder("resnet18_twin")
+    x = g.input((1, 55, 55))
+    x = g.pad(x, (2, 2), name="pad_conv1")
+    x = g.conv2d(x, filters=8, field=5, stride=2, name="conv1")  # static
+    x = g.relu(x)
+    x = _twin_block(g, x, 8, 2, "b1")
+    x = _twin_block(g, x, 8, 2, "b2")
+    x = g.pad(x, 1, name="pad_c3")
+    x = g.conv2d(x, filters=8, field=3, stride=1, name="c3")
+    x = g.relu(x)
+    x = g.pad(x, 1, name="pad_c4")
+    x = g.conv2d(x, filters=8, field=3, stride=1, name="c4")
+    x = g.relu(x)
+    x = g.maxpool(x, 3, 2, name="pool1")
+    x = g.global_avgpool(x, name="gap")
+    x = g.dense(x, 10, name="fc")
+    x = g.softmax(x, name="softmax")
+    return g.build()
+
+
+#: full-network name -> tractable stand-in for interpreter execution
+TWINS = {
+    "mobilenet_v1": mobilenet_v1_twin,
+    "resnet18": resnet18_twin,
+}

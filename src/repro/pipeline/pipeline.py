@@ -323,12 +323,17 @@ def _describe_fused(fg: FusedGraph) -> Tuple[int, Dict[str, float]]:
 
 
 def _describe_program(p: Program) -> Tuple[int, Dict[str, float]]:
-    return len(p.kernels), {
+    counters = {
         "kernels": len(p.kernels),
         "channels": len(p.all_channels()),
         "autorun": sum(1 for k in p.kernels if k.autorun),
         "parameterized": sum(1 for k in p.kernels if k.is_parameterized),
     }
+    # per-kernel lower-cache deltas attached by the incremental lowerers
+    # (repro.flow.incremental) — surfaced as lower_* trace counters
+    for key, value in getattr(p, "lower_cache", {}).items():
+        counters[f"lower_{key}"] = value
+    return len(p.kernels), counters
 
 
 def _describe_source(src: str) -> Tuple[int, Dict[str, float]]:

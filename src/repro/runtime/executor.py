@@ -12,15 +12,41 @@ covers every kernel species the large networks use.
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
 from repro.errors import RuntimeSimError
 from repro.ir.interp import ChannelState, Interpreter
+from repro.ir.vinterp import VectorizedInterpreter
 from repro.relay.execute import Params
 from repro.relay.passes import FusedGraph
 from repro.runtime.plan import FoldedPlan, PipelinePlan
+
+#: Environment opt-out: set REPRO_INTERP=scalar to force the element-wise
+#: interpreter everywhere (the vectorized path is bit-identical, so this
+#: is a debugging aid, not a numerics switch).
+_INTERP_ENV = "REPRO_INTERP"
+
+
+def _interpreter_class(interp: str) -> Type[Interpreter]:
+    """Resolve an ``interp`` choice ('vector' | 'scalar' | 'auto')."""
+    if interp == "auto":
+        interp = os.environ.get(_INTERP_ENV, "vector").strip() or "vector"
+    if interp in ("vector", "vectorized"):
+        return VectorizedInterpreter
+    if interp == "scalar":
+        return Interpreter
+    raise RuntimeSimError(
+        f"unknown interpreter {interp!r}: choose 'vector' or 'scalar'"
+    )
+
+
+def _drain_events(it, kernel_name: str, events) -> None:
+    """Append a vectorized interpreter's band events, tagged by kernel."""
+    if events is not None and isinstance(it, VectorizedInterpreter):
+        events.extend((kernel_name, ev) for ev in it.events)
 
 
 def _weights_for(prefix: str, fn, params: Params, bufs: Dict[str, np.ndarray]) -> None:
@@ -51,13 +77,19 @@ def run_pipelined_functional(
     fused: FusedGraph,
     x: np.ndarray,
     params: Params,
+    interp: str = "auto",
+    events: Optional[List[Tuple[str, object]]] = None,
 ) -> np.ndarray:
     """Interpret a pipelined program on one input image.
 
     Kernels run producer-first with shared channel state (functionally
     equivalent to the concurrent execution the hardware performs, since
-    channels are FIFOs).
+    channels are FIFOs).  ``interp`` selects the vectorized (default) or
+    scalar interpreter; both produce bit-identical float32 results.
+    When ``events`` is a list and the vectorized interpreter runs, it
+    receives ``(kernel_name, BandEvent)`` pairs for fallback auditing.
     """
+    cls = _interpreter_class(interp)
     nodes = list(fused)
     if len(nodes) != len(plan.stages):
         raise RuntimeSimError("plan/graph stage mismatch")
@@ -79,7 +111,9 @@ def run_pipelined_functional(
         if kernel.output_buffer is not None and kernel.output_buffer not in buffers:
             n = _numel(fn.out_shape)
             buffers[kernel.output_buffer] = np.zeros(n, np.float32)
-        Interpreter(buffers, channels=channels).run(kernel)
+        it = cls(buffers, channels=channels)
+        it.run(kernel)
+        _drain_events(it, kernel.name, events)
 
     out_kernel = program.kernel(plan.stages[-1].kernel_name)
     assert out_kernel.output_buffer is not None
@@ -93,8 +127,11 @@ def run_folded_functional(
     fused: FusedGraph,
     x: np.ndarray,
     params: Params,
+    interp: str = "auto",
+    events: Optional[List[Tuple[str, object]]] = None,
 ) -> np.ndarray:
     """Interpret a folded program layer-invocation by layer-invocation."""
+    cls = _interpreter_class(interp)
     values: Dict[str, np.ndarray] = {
         fused.graph.input.name: np.ascontiguousarray(x, np.float32).ravel()
     }
@@ -113,7 +150,9 @@ def run_folded_functional(
         assert out_name is not None
         n = _numel(fn.out_shape)
         bufs[out_name] = np.zeros(n, np.float32)
-        Interpreter(bufs, bindings=inv.bindings).run(kernel)
+        it = cls(bufs, bindings=inv.bindings)
+        it.run(kernel)
+        _drain_events(it, kernel.name, events)
         values[fn.output_node.name] = bufs[out_name]
         # intermediate epilogue nodes share the kernel's output value
         values[fn.anchor.name] = bufs[out_name]

@@ -114,14 +114,20 @@ class Replica:
 
     # -- numerics --------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Functional inference on this replica's rung."""
+        """Functional inference on this replica's rung.
+
+        Device rungs execute the *generated kernels* through the
+        vectorized interpreter (:meth:`Deployment.forward_functional`),
+        so serving numerics exercise the same compiled program the
+        timing model charges for; the CPU rung runs the NumPy executor.
+        """
         if self.rung == "cpu":
             if self._cpu_fused is None:
                 graph = MODELS[self.network]()
                 self._cpu_fused = fuse_operators(graph)
                 self._cpu_params = init_params(graph, seed=0)
             return run_fused_graph(self._cpu_fused, x, self._cpu_params)
-        return self.deployment.forward(x)
+        return self.deployment.forward_functional(x)
 
     def __repr__(self) -> str:
         return (

@@ -179,9 +179,11 @@ def check_bounds(
         report = VerifyReport(subject=kernel.name)
     sets = binding_sets if binding_sets else [{}]
     for bindings in sets:
-        label = ",".join(
-            f"{v.name}={c}" for v, c in sorted(bindings.items(), key=lambda kv: kv[0].name)
-        )
+        # adopt same-named vars: the plan's bindings may come from an
+        # alpha-equivalent build of a lower-cache-replayed kernel
+        bindings = kernel.bind_by_name(bindings)
+        by_name = sorted({v.name: c for v, c in bindings.items()}.items())
+        label = ",".join(f"{n}={c}" for n, c in by_name)
         _BoundsChecker(kernel, bindings, report, label).run()
     report.bump("kernels_bounds_checked")
     return report

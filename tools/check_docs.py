@@ -16,7 +16,11 @@ Checks ``README.md`` and every ``docs/*.md`` for:
   and must complete without raising;
 * **architecture coverage** — ``docs/architecture.md`` must mention
   every package under ``src/repro`` (every directory holding an
-  ``__init__.py``), so the map can't silently omit a subsystem.
+  ``__init__.py``), so the map can't silently omit a subsystem;
+* **performance coverage** — ``docs/performance.md`` must mention every
+  metric key the committed trajectory baseline
+  (``benchmarks/results/perf_trajectory.json``) gates in CI, so the
+  documented gate table can't drift from what the ``perf`` job enforces.
 
 Exit status 1 when any finding is reported.  Run as
 ``PYTHONPATH=src python tools/check_docs.py`` from the repository root;
@@ -147,6 +151,33 @@ def check_architecture_coverage() -> list:
     return findings
 
 
+def check_performance_coverage() -> list:
+    """Every baseline-gated benchmark metric must be documented."""
+    baseline = ROOT / "benchmarks" / "results" / "perf_trajectory.json"
+    doc = ROOT / "docs" / "performance.md"
+    if not baseline.exists():
+        return ["benchmarks/results/perf_trajectory.json: missing — "
+                "regenerate with REPRO_PERF_UPDATE=1 (see docs/performance.md)"]
+    if not doc.exists():
+        return ["docs/performance.md: missing"]
+    import json
+
+    data = json.loads(baseline.read_text())
+    text = doc.read_text()
+    findings = []
+    gated = sorted(data.get("compile_s", {})) + sorted(
+        data.get("throughput_ips", {}))
+    if "sweep" in data:
+        gated.append("sweep")
+    for key in gated:
+        if key not in text:
+            findings.append(
+                f"docs/performance.md: gated metric {key!r} from the "
+                "committed perf baseline is not documented"
+            )
+    return findings
+
+
 def main() -> int:
     findings = []
     for path in doc_files():
@@ -154,6 +185,7 @@ def main() -> int:
         findings.extend(check_links(path, text))
         findings.extend(check_fences(path, text))
     findings.extend(check_architecture_coverage())
+    findings.extend(check_performance_coverage())
     for f in findings:
         print(f)
     print(f"{len(findings)} finding(s) across {len(doc_files())} documents")
