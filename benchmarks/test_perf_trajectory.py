@@ -8,7 +8,11 @@ in CI:
 * simulated inferences/sec through the functional executor — LeNet-5 at
   full size (vectorized AND scalar, asserting the >= 5x vectorization
   floor), MobileNetV1/ResNet-18 through their reduced twins;
-* pruned 72-point conv1x1 DSE sweep wall-clock, serial vs 4 workers.
+* pruned 72-point conv1x1 DSE sweep wall-clock, serial vs 4 workers;
+* static equivalence certification of the whole folded LeNet-5 build vs
+  one interpreter cross-check of a single kernel — the certificate path
+  must stay strictly faster, or removing interpreter runs from the
+  DSE/autofix accept paths stops paying.
 
 Results are compared against the committed baseline
 ``benchmarks/results/perf_trajectory.json``.  Raw seconds are not
@@ -47,12 +51,15 @@ from repro.device import ARRIA10, board_by_name
 from repro.flow import build_folded
 from repro.flow.deploy import default_folded_config, deploy_pipelined
 from repro.flow.dse import sweep_conv1x1
+from repro.flow.folded import FoldedConfig, plan_folded, schedule_folded
 from repro.flow.incremental import clear_lower_cache
 from repro.flow.stages import MODELS, folded_flow, pipelined_flow
 from repro.models.twins import TWINS
 from repro.pipeline.cache import CompileCache
 from repro.relay import fuse_operators, init_params
 from repro.runtime.executor import run_folded_functional
+from repro.verify import certify_build, clear_equiv_cache, dynamic_equiv_check
+from repro.verify.verifier import binding_sets_of
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "perf_trajectory.json")
 UPDATE = os.environ.get("REPRO_PERF_UPDATE") == "1"
@@ -229,6 +236,47 @@ def _measure_sweep() -> dict:
     }
 
 
+def _measure_certify() -> dict:
+    """Static whole-build certification vs one interpreter cross-check.
+
+    The point of the RE certifier is removing interpreter equivalence
+    runs from the DSE/autofix accept paths, so the committed trajectory
+    pins the trade directly: statically certifying EVERY kernel of the
+    folded LeNet-5 build (cache cleared each repeat) must be strictly
+    faster than a SINGLE dynamic cross-check of just one of those
+    kernels (scheduled + naive interpreter run on its real binding
+    set).  Both arms run on the same machine back to back — the
+    asserted property is a pure ordering, so no probe calibration is
+    needed.
+    """
+    fused = fuse_operators(MODELS["lenet5"]())
+    sched = schedule_folded(fused, FoldedConfig(), ARRIA10)
+    plan = plan_folded(fused, sched)
+
+    certified = 0
+
+    def static_arm():
+        nonlocal certified
+        clear_equiv_cache()
+        report, _ = certify_build(sched, plan=plan, dynamic_fallback=False)
+        assert report.counters["equiv_dynamic_runs"] == 0
+        certified = report.counters["equiv_certified"]
+
+    certify_s = _best_of(static_arm)
+    bsets = binding_sets_of(plan)
+    sk = next(k for k in sched.kernels if getattr(k, "recipe", None))
+    dynamic_s = _best_of(
+        lambda: dynamic_equiv_check(sk, (bsets.get(sk.name) or [{}])[0]),
+        repeats=2,
+    )
+    return {
+        "kernels_certified": certified,
+        "certify_s": certify_s,
+        "dynamic_check_s": dynamic_s,
+        "speedup": dynamic_s / certify_s,
+    }
+
+
 @pytest.fixture(scope="module")
 def trajectory():
     """Measure everything once; in update mode also rewrite the baseline.
@@ -253,6 +301,7 @@ def trajectory():
         "lenet5": _measure_lenet_speedup(
             throughput["lenet5@pipelined"]["value"]),
         "sweep": _measure_sweep(),
+        "certify": _measure_certify(),
     }
     if UPDATE:
         os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -326,6 +375,14 @@ def _save_report(current, baseline) -> None:
     rows.append([f"sweep {SWEEP_WORKERS} workers ({current['cpus']} cpus)",
                  f"{sweep['parallel_s']:.2f} s",
                  f"{bsweep['parallel_s']:.2f} s", "-"])
+    cert, bcert = current["certify"], baseline.get("certify", {})
+    rows.append([f"certify {cert['kernels_certified']} kernels (static)",
+                 f"{cert['certify_s'] * 1e3:.1f} ms",
+                 f"{bcert.get('certify_s', 0) * 1e3:.1f} ms", "-"])
+    rows.append(["one interpreter cross-check",
+                 f"{cert['dynamic_check_s'] * 1e3:.1f} ms",
+                 f"{bcert.get('dynamic_check_s', 0) * 1e3:.1f} ms",
+                 f"{cert['speedup']:.0f}x slower than certifying"])
     save_table("perf_trajectory", fmt_table(
         "Performance trajectory (current vs committed baseline)",
         ["metric", "current", "baseline", "calibrated"], rows))
@@ -380,6 +437,17 @@ class TestPerfTrajectory:
                     f"{(1 - THROUGHPUT_BAND) * 100:.0f}% after "
                     f"{RETRIES} retries"
                 )
+
+    def test_certificate_path_beats_interpreter(self, trajectory):
+        current, _, _ = trajectory
+        cert = current["certify"]
+        assert cert["kernels_certified"] > 0
+        assert cert["certify_s"] < cert["dynamic_check_s"], (
+            f"statically certifying the whole build "
+            f"({cert['certify_s'] * 1e3:.1f} ms) is not faster than one "
+            f"interpreter cross-check ({cert['dynamic_check_s'] * 1e3:.1f} "
+            "ms) — the certifier no longer pays for itself"
+        )
 
     def test_parallel_sweep_wall_clock(self, trajectory):
         current, _, _ = trajectory

@@ -48,7 +48,7 @@ from repro.flow.pipelined import (
 )
 from repro.relay.passes import FusedGraph
 from repro.schedule import ScheduleRecipe
-from repro.verify import verify_build
+from repro.verify import certify_build, verify_build
 from repro.verify.diagnostics import Diagnostic
 
 #: hard bound on rewrite iterations; the lattice argument makes this
@@ -135,6 +135,15 @@ class AutofixResult:
     roundtrip_ok: Optional[bool] = None
     #: per-iteration narration of the loop
     log: List[str] = field(default_factory=list)
+    #: equivalence-certifier accounting of the final build (folded
+    #: mode): kernels accepted on a static certificate, statically
+    #: undecidable kernels (RE006), kernels outside the fragment, and
+    #: interpreter cross-checks actually run — the loop accepts rewrites
+    #: on certificates, so this is 0 when every rewrite certified
+    certified: int = 0
+    cert_unknown: int = 0
+    cert_uncertified: int = 0
+    cert_dynamic_runs: int = 0
 
     @property
     def clean(self) -> bool:
@@ -156,6 +165,10 @@ class AutofixResult:
             ],
             "recipes": dict(sorted(self.recipes.items())),
             "roundtrip_ok": self.roundtrip_ok,
+            "certified": self.certified,
+            "cert_unknown": self.cert_unknown,
+            "cert_uncertified": self.cert_uncertified,
+            "cert_dynamic_runs": self.cert_dynamic_runs,
             "log": list(self.log),
         }
 
@@ -176,6 +189,13 @@ class AutofixResult:
             lines.append(
                 "  recipes round-trip: "
                 + ("bit-identical" if self.roundtrip_ok else "MISMATCH")
+            )
+        if self.mode == "folded":
+            lines.append(
+                f"  equivalence: {self.certified} certified, "
+                f"{self.cert_unknown} unknown, "
+                f"{self.cert_uncertified} uncertified, "
+                f"{self.cert_dynamic_runs} dynamic run(s)"
             )
         return "\n".join(lines)
 
@@ -452,6 +472,22 @@ def autofix_folded(
         report = verify_build(
             program, source=source, plan=plan, subject=result.subject,
             board=board, constants=constants,
+        )
+        # translation validation: every rewritten recipe must certify
+        # equivalent to the naive lowering (repro.verify.equiv) before
+        # its configuration is accepted.  Certified kernels cost zero
+        # interpreter runs; an RE006-unknown kernel gets exactly one
+        # dynamic cross-check, and a rejection aborts like any other
+        # error-severity finding.
+        equiv_report, _ = certify_build(
+            sched, plan=plan, subject=result.subject, dynamic_fallback=True,
+        )
+        report.merge(equiv_report)
+        result.certified = report.counters.get("equiv_certified", 0)
+        result.cert_unknown = report.counters.get("equiv_unknown", 0)
+        result.cert_uncertified = report.counters.get("equiv_uncertified", 0)
+        result.cert_dynamic_runs += report.counters.get(
+            "equiv_dynamic_runs", 0
         )
         if report.errors:
             result.status, result.stuck_reason = "stuck", "verify-error"

@@ -59,6 +59,14 @@ class TuneResult:
     #: kernel name -> recipe fingerprint under the winning configuration,
     #: i.e. the (tiling, recipe) identity each tuned point resolves to
     recipes: Dict[str, str] = field(default_factory=dict)
+    #: equivalence-certifier accounting of the winning configuration
+    #: (repro.verify.equiv): the tuned schedules are accepted on static
+    #: certificates, so ``cert_dynamic_runs`` is 0 when every
+    #: recipe-backed kernel certified
+    certified: int = 0
+    cert_unknown: int = 0
+    cert_uncertified: int = 0
+    cert_dynamic_runs: int = 0
 
 
 def _group_extents(fused: FusedGraph) -> Dict[GroupId, Dict[str, List[int]]]:
@@ -306,7 +314,7 @@ def autotune_folded(
             break
 
     stats1 = resolved.stats() if resolved is not None else stats0
-    return TuneResult(
+    result = TuneResult(
         config=config, fps=best, evaluations=evaluations, history=history,
         cache_hits=stats1["hits"] - stats0["hits"],
         cache_misses=stats1["misses"] - stats0["misses"],
@@ -314,6 +322,8 @@ def autotune_folded(
         pruned_static=len(pruned), pruned=pruned,
         recipes=_final_recipes(fused, config, board),
     )
+    _certify_winner(result, fused, config, board)
+    return result
 
 
 def _final_recipes(
@@ -327,6 +337,33 @@ def _final_recipes(
         sk.name: sk.recipe.fingerprint()
         for sk in folded.kernels if sk.recipe is not None
     }
+
+
+def _certify_winner(
+    result: TuneResult, fused: FusedGraph, config: FoldedConfig, board: Board
+) -> None:
+    """Equivalence-certify the winning configuration's schedules.
+
+    The ascent accepts its final (tiling, recipe) identities on static
+    certificates — one purely static pass over the winning schedule,
+    with an RE006-unknown kernel allowed exactly one dynamic
+    cross-check.  Every candidate build's verify stage already ran the
+    same certifier (cached by content fingerprint), so this records the
+    winner's counts without re-proving anything.
+    """
+    from repro.flow.folded import plan_folded, schedule_folded
+    from repro.verify import certify_build
+
+    folded = schedule_folded(fused, config, board)
+    report, _ = certify_build(
+        folded, plan=plan_folded(fused, folded),
+        subject=f"autotune:{fused.graph.name}:{board.name}",
+        dynamic_fallback=True,
+    )
+    result.certified = report.counters.get("equiv_certified", 0)
+    result.cert_unknown = report.counters.get("equiv_unknown", 0)
+    result.cert_uncertified = report.counters.get("equiv_uncertified", 0)
+    result.cert_dynamic_runs = report.counters.get("equiv_dynamic_runs", 0)
 
 
 def _prune_trial(

@@ -172,14 +172,20 @@ class Deployment:
         y = run_fused_graph(self.fused, x, self.params)
         return _corrupt_buffer(y, self.network)
 
-    def forward_functional(self, x: np.ndarray) -> np.ndarray:
+    def forward_functional(
+        self, x: np.ndarray, events: Optional[list] = None
+    ) -> np.ndarray:
         """Functional inference through the *generated kernels* themselves.
 
         Runs the compiled program under the vectorized IR interpreter
         (:mod:`repro.ir.vinterp`) — channel FIFOs, symbolic bindings and
         all — instead of the fused-graph NumPy executor.  Probes the same
         ``buffer`` fault site as :meth:`forward` so the serving layer's
-        logits cross-checks behave identically on either path.
+        logits cross-checks behave identically on either path.  When
+        ``events`` is a list, it receives the interpreter's
+        ``(kernel_name, BandEvent)`` pairs so callers can audit which
+        loop bands vectorized and which fell back to the scalar path
+        (``repro.report --trace`` tallies them on its execute row).
         """
         from repro.runtime.executor import (
             run_folded_functional,
@@ -188,11 +194,13 @@ class Deployment:
 
         if self.mode == "pipelined":
             y = run_pipelined_functional(
-                self.bitstream.program, self.plan, self.fused, x, self.params
+                self.bitstream.program, self.plan, self.fused, x,
+                self.params, events=events,
             )
         else:
             y = run_folded_functional(
-                self.bitstream.program, self.plan, self.fused, x, self.params
+                self.bitstream.program, self.plan, self.fused, x,
+                self.params, events=events,
             )
         out_shape = self.fused.graph.output.out_shape
         return _corrupt_buffer(y.reshape(out_shape), self.network)

@@ -61,6 +61,15 @@ class DSEPoint:
     recipe: Optional[ScheduleRecipe] = None
     #: rewritten by the static autofix pass before synthesis
     fixed: bool = False
+    #: equivalence-certifier accounting from the build's verify stage
+    #: (repro.verify.equiv): kernels statically certified, kernels the
+    #: prover could not decide (RE006), kernels outside the fragment,
+    #: and interpreter cross-checks actually run — 0 for a certified
+    #: point, which is the whole point
+    certified: int = 0
+    cert_unknown: int = 0
+    cert_uncertified: int = 0
+    cert_dynamic_runs: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -101,6 +110,24 @@ class SweepSummary:
         accounted distinctly from pruned ones (they did synthesize)."""
         return sum(1 for p in self.points if p.fixed)
 
+    @property
+    def certified_kernels(self) -> int:
+        """Kernels across all points the equivalence certifier proved
+        bit-exact statically — accepted without any interpreter run."""
+        return sum(p.certified for p in self.points)
+
+    @property
+    def uncertified_kernels(self) -> int:
+        """Kernels outside the certifier's fragment (prebuilt, no
+        recipe) plus statically undecidable ones (RE006)."""
+        return sum(p.cert_unknown + p.cert_uncertified for p in self.points)
+
+    @property
+    def cert_fallbacks(self) -> int:
+        """Dynamic (interpreter) equivalence checks the sweep ran —
+        zero when every recipe-backed kernel certified statically."""
+        return sum(p.cert_dynamic_runs for p in self.points)
+
     def fail_reasons(self) -> Dict[str, int]:
         """Histogram of failure classes, keys sorted.
 
@@ -127,6 +154,9 @@ class SweepSummary:
             "synthesized": self.synthesized,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "certified_kernels": self.certified_kernels,
+            "uncertified_kernels": self.uncertified_kernels,
+            "cert_fallbacks": self.cert_fallbacks,
             "fail_reasons": self.fail_reasons(),
         }
 
@@ -138,6 +168,8 @@ class SweepSummary:
             f"{d['synthesized']} synthesized, "
             f"{d['pruned_static']} pruned statically, "
             f"{d['fixed_static']} autofixed, "
+            f"{d['certified_kernels']} kernel(s) certified "
+            f"({d['cert_fallbacks']} dynamic fallback(s)), "
             f"cache {d['cache_hits']}h/{d['cache_misses']}m"
             + (f" [{reasons}]" if reasons else "")
         )
@@ -192,21 +224,26 @@ def evaluate_tiling(
     try:
         result = flow.run(seed={"graph": fused.graph, "fused": fused})
     except FitError as e:
-        return DSEPoint(tiling, fits=False, routed=True,
-                        fail_reason=f"FitError: {e}", recipe=recipe)
+        return _failed_point(
+            DSEPoint(tiling, fits=False, routed=True,
+                     fail_reason=f"FitError: {e}", recipe=recipe), e,
+        )
     except RoutingError as e:
-        return DSEPoint(tiling, fits=True, routed=False,
-                        fail_reason=f"RoutingError: {e}", recipe=recipe)
+        return _failed_point(
+            DSEPoint(tiling, fits=True, routed=False,
+                     fail_reason=f"RoutingError: {e}", recipe=recipe), e,
+        )
     except AOCError as e:
         # any other compiler failure (crash, internal error): the point
         # is recorded as infeasible instead of aborting the whole sweep
-        return DSEPoint(
-            tiling, fits=False, routed=False,
-            fail_reason=f"{type(e).__name__}: {e}", recipe=recipe,
+        return _failed_point(
+            DSEPoint(tiling, fits=False, routed=False,
+                     fail_reason=f"{type(e).__name__}: {e}", recipe=recipe),
+            e,
         )
     bs = result.value("bitstream")
     sim = simulate_folded(bs, result.value("plan"))
-    return DSEPoint(
+    point = DSEPoint(
         tiling,
         fits=True,
         routed=True,
@@ -215,6 +252,37 @@ def evaluate_tiling(
         dsps=bs.total.dsps,
         recipe=recipe,
     )
+    _attach_certification(point, result.trace)
+    return point
+
+
+def _failed_point(point: DSEPoint, err: AOCError) -> DSEPoint:
+    """Certification counters for a point that failed past the verify
+    stage (the partial trace on the error's diagnostic still has them —
+    a point is certified or not regardless of whether it fits)."""
+    diag = getattr(err, "diagnostic", None)
+    if diag is not None:
+        _attach_certification(point, diag.trace)
+    return point
+
+
+def _attach_certification(point: DSEPoint, trace) -> None:
+    """Copy the verify stage's equivalence-certifier counters onto a point.
+
+    The verify stage of every candidate build runs the static
+    certifier (:mod:`repro.verify.equiv`); its trace counters say how
+    many kernels were accepted on a certificate versus how many needed
+    an interpreter fallback — the sweep-level proof that certified
+    candidates cost zero interpreter equivalence runs.
+    """
+    try:
+        c = trace.stage("verify").counters
+    except KeyError:  # pragma: no cover — verify always runs pre-synthesis
+        return
+    point.certified = int(c.get("equiv_certified", 0))
+    point.cert_unknown = int(c.get("equiv_unknown", 0))
+    point.cert_uncertified = int(c.get("equiv_uncertified", 0))
+    point.cert_dynamic_runs = int(c.get("equiv_dynamic_runs", 0))
 
 
 # ---------------------------------------------------------------------------

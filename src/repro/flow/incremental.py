@@ -58,8 +58,19 @@ def _axis_canonical(ax: IterVar) -> List[object]:
 
 def _tensor_canonical(t: Tensor) -> List[object]:
     shape = [d.name if isinstance(d, _e.Var) else int(d) for d in t.shape]
+    # strides enter the lowered index expressions, and the
+    # pin_unit_stride transform rewrites them in place — two schedules
+    # differing only in a pin must not collide on one cache entry
+    strides = (
+        None
+        if t.buffer.strides is None
+        else [
+            d.name if isinstance(d, _e.Var) else int(d)
+            for d in t.buffer.strides
+        ]
+    )
     base: List[object] = [
-        "tensor", t.name, shape, t.dtype, t.buffer.scope,
+        "tensor", t.name, shape, strides, t.dtype, t.buffer.scope,
     ]
     op = t.op
     if op is None:
@@ -86,7 +97,7 @@ def _tensor_canonical(t: Tensor) -> List[object]:
         [_axis_canonical(ax) for ax in op.reduce_axes],
         rendered,
         epilogue,
-        [i.name for i in op.inputs],
+        [_tensor_canonical(i) for i in op.inputs],
     ]
 
 

@@ -139,17 +139,37 @@ def _verify_stage(
     ``board`` the performance advisor (RP rules) runs too; its
     advice-severity findings never fail the stage but land in the stage
     trace as notes.
+
+    The schedule-equivalence certifier (RE rules,
+    :mod:`repro.verify.equiv`) runs as part of this stage: every
+    recipe-backed kernel's scheduled lowering is statically proven
+    equivalent to its naive lowering, an ``RE`` error fails the build
+    exactly like an RB/RR/RC finding, and the per-status certificate
+    counts (``equiv_certified``/``equiv_unknown``/...) land on the
+    stage's trace counters.  The stage itself never runs the
+    interpreter: an unprovable kernel surfaces as an ``RE006`` warning
+    and is left for the accept paths (autofix/DSE) to dynamically
+    cross-check.
     """
 
     def fn(ctx: Context):
+        from repro.verify.equiv import certify_build
+
+        plan = planner(ctx)
         report = verify_build(
             ctx.value("program"),
             source=ctx.value("source"),
-            plan=planner(ctx),
+            plan=plan,
             subject=ctx.pipeline,
             board=board,
             constants=constants,
         )
+        if "schedule" in ctx:
+            equiv_report, _ = certify_build(
+                ctx.value("schedule"), plan=plan, subject=ctx.pipeline,
+                dynamic_fallback=False,
+            )
+            report.merge(equiv_report)
         return assert_clean(report)
 
     return Stage("verify", "verify", fn)

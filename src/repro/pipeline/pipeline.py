@@ -367,7 +367,7 @@ def _describe_bitstream(bs: Bitstream) -> Tuple[int, Dict[str, float]]:
 
 def _describe_verify_report(r: VerifyReport) -> Tuple[int, Dict[str, float]]:
     c = r.summary_counters()
-    return len(r.diagnostics), {
+    counters = {
         "errors": c["error"],
         "warnings": c["warn"],
         "advice": c["advice"],
@@ -375,6 +375,12 @@ def _describe_verify_report(r: VerifyReport) -> Tuple[int, Dict[str, float]]:
         "accesses_proven": c.get("accesses_proven", 0),
         "channels_matched": c.get("channels_matched", 0),
     }
+    # equivalence-certifier accounting (repro.verify.equiv): pre-bumped
+    # to zero by certify_build, so presence means the certifier ran
+    counters.update(
+        {k: v for k, v in c.items() if k.startswith("equiv_")}
+    )
+    return len(r.diagnostics), counters
 
 
 def _describe_pipeline_plan(p: PipelinePlan) -> Tuple[int, Dict[str, float]]:

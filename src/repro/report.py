@@ -177,9 +177,59 @@ def trace_deployment(
             out.write(diag.trace.to_json(indent=2) + "\n"
                       if as_json else diag.trace.format_table() + "\n")
         return 1
+    _append_execute_record(d)
     out.write(d.trace.to_json(indent=2) + "\n"
               if as_json else d.trace.format_table() + "\n")
     return 0
+
+
+def _append_execute_record(d) -> None:
+    """Run one functional forward pass and append an ``execute`` row.
+
+    The vectorized interpreter reports every band decision it makes
+    (:class:`repro.ir.vinterp.BandEvent`); the row's counters tally
+    them — ``vinterp_bands`` attempted, ``vinterp_vectorized`` executed
+    wide, ``vinterp_fallbacks`` dropped to the scalar loop — with one
+    ``vinterp_fallback.<reason>`` counter and a ``>>`` note per
+    distinct fallback reason.  The pass runs the whole network
+    functionally, so large folded networks take tens of seconds here.
+    """
+    import time
+    from collections import Counter
+
+    import numpy as np
+
+    from repro.pipeline.trace import StageRecord
+
+    events: List[tuple] = []
+    base = d.trace.records[-1].t_end if d.trace.records else 0.0
+    x = np.random.default_rng(0).standard_normal(
+        d.fused.graph.input.out_shape
+    ).astype(np.float32)
+    t0 = time.perf_counter()
+    status, error = "ok", None
+    try:
+        d.forward_functional(x, events=events)
+    except Exception as e:  # pragma: no cover - diagnostic row only
+        status, error = "error", f"{type(e).__name__}: {e}"
+    wall = time.perf_counter() - t0
+    fallbacks = [ev for _, ev in events if ev.kind == "fallback"]
+    counters: Dict[str, float] = {
+        "vinterp_bands": len(events),
+        "vinterp_vectorized": len(events) - len(fallbacks),
+        "vinterp_fallbacks": len(fallbacks),
+    }
+    reasons = Counter(ev.detail for ev in fallbacks)
+    notes = []
+    for reason, n in sorted(reasons.items()):
+        slug = reason.replace(" ", "_").replace("-", "_")
+        counters[f"vinterp_fallback.{slug}"] = n
+        notes.append(f"scalar fallback x{n}: {reason}")
+    d.trace.records.append(StageRecord(
+        stage="execute", status=status, t_start=base, t_end=base + wall,
+        artifact="logits", size=len(events), counters=counters,
+        error=error, notes=notes,
+    ))
 
 
 def _trace_with_faults(network, board, out: TextIO, as_json: bool) -> int:
@@ -282,6 +332,86 @@ def verify_deployment(
     else:
         out.write(report.format_table() + "\n")
     return 0 if report.clean else 1
+
+
+def certify_deployment(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+) -> int:
+    """Equivalence-certify one build's schedules and print the verdicts.
+
+    ``spec`` is ``NETWORK[:BOARD]`` — e.g. ``mobilenet_v1:A10``.  Board
+    defaults to S10SX.  The network is built through the *folded* flow
+    (its kernels carry transform recipes, the certifier's input) and
+    stops after planning — no synthesis — so even network/board pairs
+    that cannot fit still certify.  Every recipe-backed kernel's
+    scheduled lowering is statically proven equivalent to its naive
+    lowering (RE rules, :mod:`repro.verify.equiv`); the run is purely
+    static — an RE006-unknown kernel is reported, not dynamically
+    cross-checked.  Exit status: 0 when every recipe-backed kernel
+    certified (no rejections, no unknowns — hence zero interpreter
+    fallbacks would be needed), 1 otherwise, 2 on a bad spec.
+    """
+    import json
+
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.deploy import default_folded_config
+    from repro.flow.folded import FoldedConfig, plan_folded, schedule_folded
+    from repro.flow.stages import MODELS
+    from repro.relay import fuse_operators
+    from repro.verify import certify_build
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        out.write(f"unknown network {network!r}; "
+                  f"choose from: {', '.join(sorted(MODELS))}\n")
+        return 2
+    try:
+        board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
+    except KeyError:
+        out.write(f"unknown board {parts[1]!r}; choose from: "
+                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
+        return 2
+
+    fused = fuse_operators(MODELS[network]())
+    try:
+        config = default_folded_config(network, board)
+    except ReproError:
+        # no thesis tiling table (LeNet-class): the generic folded
+        # config still schedules every layer with a recipe
+        config = FoldedConfig()
+    sched = schedule_folded(fused, config, board)
+    plan = plan_folded(fused, sched)
+    report, certs = certify_build(
+        sched, plan=plan, subject=f"{network}:{board.name}",
+        dynamic_fallback=False,
+    )
+    ok = (
+        report.clean
+        and report.counters.get("equiv_rejected", 0) == 0
+        and report.counters.get("equiv_unknown", 0) == 0
+    )
+    if as_json:
+        payload = report.to_dict()
+        payload["certificates"] = {
+            k: c.to_dict() for k, c in sorted(certs.items())
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0 if ok else 1
+    out.write(report.format_table() + "\n\ncertificates:\n")
+    for name, cert in sorted(certs.items()):
+        extra = f" ({cert.detail})" if cert.detail else ""
+        out.write(f"  {name:<40} {cert.status}{extra}\n")
+    out.write(
+        "\nverdict: "
+        + ("all recipe-backed kernels certified equivalent — no "
+           "interpreter cross-checks needed"
+           if ok else "certification INCOMPLETE — see RE findings above")
+        + "\n"
+    )
+    return 0 if ok else 1
 
 
 def advise_deployment(
@@ -580,6 +710,13 @@ modes:
                           iterate to an advice-clean fixpoint or a
                           provably-stuck report (no synthesis);
                           SPEC = NETWORK[:BOARD], e.g. mobilenet_v1:A10
+  --certify SPEC          static equivalence certifier (RE rules): prove
+                          every recipe-scheduled kernel computes the
+                          same results as its naive lowering, with no
+                          interpreter runs and no synthesis — works on
+                          unfittable builds; SPEC = NETWORK[:BOARD],
+                          e.g. resnet50:A10; exits 0 only when all
+                          recipe-backed kernels certify
 
 flags:
   --json                  emit JSON instead of tables
@@ -627,6 +764,11 @@ def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
             out.write(USAGE)
             return 2
         return autofix_deployment(args[1], out, as_json="--json" in args[2:])
+    if args and args[0] == "--certify":
+        if len(args) < 2:
+            out.write(USAGE)
+            return 2
+        return certify_deployment(args[1], out, as_json="--json" in args[2:])
     if args and args[0] == "--serve":
         if len(args) < 2:
             out.write(USAGE)

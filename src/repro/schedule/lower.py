@@ -214,6 +214,17 @@ class _ScheduleLowerer:
         return _s.seq(*parts)
 
 
+def lower_stage_body(sch: Schedule) -> _s.Stmt:
+    """Lower a schedule to its raw loop-nest statement, pre-simplification.
+
+    The equivalence certifier (:mod:`repro.verify.equiv`) compares the
+    naive and scheduled lowerings *before* :func:`simplify_stmt` folds
+    constants and collapses trip-1 loops, so the store/loop structure it
+    reasons about is exactly what the lowerer emitted.
+    """
+    return _ScheduleLowerer(sch).lower_body(None, {})
+
+
 def lower(
     sch: Schedule,
     kernel_name: str,

@@ -244,6 +244,11 @@ class Schedule:
     def __init__(self, tensors: Sequence[Tensor]) -> None:
         self.tensors: Tuple[Tensor, ...] = tuple(tensors)
         self.stages: List[Stage] = []
+        #: strides the pin_unit_stride transform replaced with the literal
+        #: 1, as (buffer name, original stride expr).  The equivalence
+        #: certifier (repro.verify.equiv, RE005) proves each original
+        #: stride binds to 1 in every binding set.
+        self.pinned_strides: List[Tuple[str, _e.Expr]] = []
         for t in self.tensors:
             if t.op is None:
                 raise ScheduleError(f"{t.name} is a placeholder, not a compute op")

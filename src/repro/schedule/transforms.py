@@ -263,8 +263,14 @@ def _resolve_input(st, kw: Dict[str, object]):
 
 
 def _pin_unit_strides(sch, st) -> None:
-    """Rewrite symbolic innermost strides to the literal 1 (idempotent)."""
+    """Rewrite symbolic innermost strides to the literal 1 (idempotent).
+
+    Each replaced stride expression is recorded on the schedule
+    (``sch.pinned_strides``) so the equivalence certifier can prove the
+    pin is sound — i.e. every binding set actually binds it to 1.
+    """
     tensors = list(st.op.inputs) + [t for t in sch.tensors]
+    pins = getattr(sch, "pinned_strides", None)
     for t in tensors:
         buf = t.buffer
         strides = getattr(buf, "strides", None)
@@ -273,6 +279,8 @@ def _pin_unit_strides(sch, st) -> None:
         inner = strides[-1]
         if isinstance(inner, int) or isinstance(inner, _e.IntImm):
             continue
+        if pins is not None:
+            pins.append((buf.name, inner))
         buf.strides = tuple(strides[:-1]) + (1,)
 
 

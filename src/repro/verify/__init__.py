@@ -31,11 +31,20 @@ Four analyzer families, each with stable rule IDs:
   companion :mod:`~repro.verify.dominance` module turns the same model
   into partial-order proofs that let the DSE skip dominated tilings
   before synthesis.
+* **equivalence** (``RE``) — translation validation of schedule
+  rewrites: per-transform legality proofs for every recipe step plus a
+  whole-kernel symbolic store-set/value comparison between the naive
+  and scheduled lowerings.  A proof yields a serializable
+  :class:`~repro.verify.equiv.EquivCertificate`, cached by content
+  fingerprint, so the DSE/autofix/autotune accept paths trust
+  certificates instead of interpreter cross-checks; an unprovable
+  kernel (RE006) falls back to exactly one dynamic check.
 
 Entry points: :func:`verify_build` merges all analyzers into one
 :class:`VerifyReport` (pass a ``board`` to include the RP advisor);
 :func:`assert_clean` raises :class:`~repro.errors.VerificationError` on
-any error-severity finding.  The full rule catalog lives in
+any error-severity finding; :func:`certify_build` certifies every
+kernel of a scheduled build.  The full rule catalog lives in
 ``docs/verification.md``.
 """
 
@@ -49,6 +58,15 @@ from repro.verify.bounds import buffer_capacity, check_bounds
 from repro.verify.channels import channel_counts, check_channels
 from repro.verify.cllint import lint_source
 from repro.verify.diagnostics import RULES, SEVERITIES, Diagnostic, VerifyReport
+from repro.verify.equiv import (
+    EquivCertificate,
+    certify_bodies,
+    certify_build,
+    certify_kernel,
+    clear_equiv_cache,
+    dynamic_equiv_check,
+    equiv_cache_stats,
+)
 from repro.verify.dominance import (
     PruneDecision,
     StaticProfile,
@@ -64,6 +82,7 @@ from repro.verify.verifier import assert_clean, binding_sets_of, verify_build
 
 __all__ = [
     "Diagnostic",
+    "EquivCertificate",
     "Interval",
     "PruneDecision",
     "RULES",
@@ -74,12 +93,18 @@ __all__ = [
     "assert_clean",
     "binding_sets_of",
     "buffer_capacity",
+    "certify_bodies",
+    "certify_build",
+    "certify_kernel",
     "channel_counts",
     "check_bounds",
     "check_channels",
     "check_perf",
     "check_races",
+    "clear_equiv_cache",
     "dominates",
+    "dynamic_equiv_check",
+    "equiv_cache_stats",
     "format_advice",
     "format_prune_preview",
     "infeasible_reason",

@@ -58,6 +58,12 @@ RULES: Dict[str, str] = {
     "RP004": "repeated reads whose reuse working set exceeds the LSU cache (tile or cache the block)",
     "RP005": "kernel is memory-bound at the board's bandwidth roof for a binding set",
     "RP006": "coalesced access width exceeds what external memory can feed per cycle",
+    "RE001": "scheduled kernel provably computes different results than the naive lowering (dropped writeback/axis or failed dynamic cross-check)",
+    "RE002": "reduce axis reordered outside the writeback axis, breaking the accumulator's loop-carried recurrence",
+    "RE003": "reduce visit order differs from the naive left fold (floating-point reassociation, not bit-exact)",
+    "RE004": "symbolic split factor does not divide the axis extent under a binding set (tail iterations dropped)",
+    "RE005": "pinned unit stride binds to a non-unit value in a binding set (wrong addressing)",
+    "RE006": "equivalence not statically provable (outside the prover fragment); one dynamic cross-check gates acceptance",
 }
 
 

@@ -8,6 +8,8 @@ may be zero — which must poison the result, never raise.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.ir as ir
 from repro.ir import expr as _e
@@ -122,6 +124,105 @@ class TestDependenceAndReuseDistance:
         n = _e.Var("n")
         assert reuse_distance(j, [(i, 4), (j, n)]) is None
         assert reuse_distance(j, [(i, 4), (j, n)], {n: 8}) == 8
+
+
+class TestDependenceDistanceEdges:
+    """Edges the equivalence certifier leans on: negative strides,
+    symbolic extents, and the distance-0 non-dependences."""
+
+    def test_negative_stride_recurrence(self):
+        # store a[10-i], load a[12-i]: both walk backwards with stride
+        # -1; the written address is re-read two iterations later
+        i = _e.Var("i")
+        store = _e.Sub(_e.IntImm(10), i)
+        load = _e.Sub(_e.IntImm(12), i)
+        assert dependence_distance(store, load, i) == 2
+
+    def test_negative_stride_never_rereads(self):
+        # the load runs two addresses BEHIND the store: d = -2, no
+        # value written is ever read back
+        i = _e.Var("i")
+        store = _e.Sub(_e.IntImm(12), i)
+        load = _e.Sub(_e.IntImm(10), i)
+        assert dependence_distance(store, load, i) is None
+
+    def test_distance_zero_is_not_loop_carried(self):
+        # store a[i], load a[i] with nonzero stride touches each address
+        # exactly once per iteration — same-iteration flow, no recurrence
+        i = _e.Var("i")
+        assert dependence_distance(i, i, i) is None
+
+    def test_anti_dependence_is_not_a_recurrence(self):
+        # store a[i], load a[i+1]: the load reads the address one
+        # iteration BEFORE the store overwrites it (anti-dependence,
+        # d = -1) — legal to pipeline, so no distance is reported
+        i = _e.Var("i")
+        assert dependence_distance(i, i + 1, i) is None
+
+    def test_symbolic_stride_resolves_under_bindings(self):
+        i, n = _e.Var("i"), _e.Var("n")
+        store = _e.Add(_e.Mul(i, n), n)
+        load = _e.Mul(i, n)
+        # unbound symbolic stride: unknown, conservatively no distance
+        assert dependence_distance(store, load, i) is None
+        # bound to 4: strides match and the delta is one full stride
+        assert dependence_distance(store, load, i, {n: 4}) == 1
+
+    def test_symbolic_delta_must_divide_stride(self):
+        i, n = _e.Var("i"), _e.Var("n")
+        store = _e.Add(_e.Mul(i, _e.IntImm(4)), n)
+        load = _e.Mul(i, _e.IntImm(4))
+        # delta n=2 is not a multiple of the stride 4: addresses never
+        # coincide across iterations
+        assert dependence_distance(store, load, i, {n: 2}) is None
+        assert dependence_distance(store, load, i, {n: 8}) == 2
+
+
+class TestDependenceDistanceStableUnderSimplify:
+    """Constant folding must never change a dependence verdict — the
+    certifier computes distances on pre-simplification bodies while the
+    lowered program the verifier sees is folded."""
+
+    @staticmethod
+    def _simplified(e: _e.Expr) -> _e.Expr:
+        from repro.ir.simplify import simplify_stmt
+
+        buf = ir.Buffer("a", (1024,))
+        return simplify_stmt(ir.Store(buf, e, 0.0)).index
+
+    @given(
+        stride=st.integers(min_value=-4, max_value=4),
+        store_off=st.integers(min_value=-8, max_value=8),
+        load_off=st.integers(min_value=-8, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distance_invariant_under_folding(self, stride, store_off,
+                                              load_off):
+        i = _e.Var("i")
+        # build the affine indices unfolded: (i*s + 0) + off keeps
+        # foldable subtrees (Add of IntImms, Mul by IntImm) around
+        store = _e.Add(_e.Add(_e.Mul(i, _e.IntImm(stride)), _e.IntImm(0)),
+                       _e.IntImm(store_off))
+        load = _e.Add(_e.Mul(i, _e.IntImm(stride)), _e.IntImm(load_off))
+        raw = dependence_distance(store, load, i)
+        folded = dependence_distance(
+            self._simplified(store), self._simplified(load), i)
+        assert raw == folded
+
+    @given(
+        stride=st.integers(min_value=1, max_value=4),
+        gap=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_positive_recurrences_survive_folding(self, stride, gap):
+        i = _e.Var("i")
+        store = _e.Add(_e.Mul(i, _e.IntImm(stride)),
+                       _e.IntImm(gap * stride))
+        load = _e.Mul(i, _e.IntImm(stride))
+        expected = gap if gap > 0 else None
+        assert dependence_distance(store, load, i) == expected
+        assert dependence_distance(
+            self._simplified(store), self._simplified(load), i) == expected
 
 
 if __name__ == "__main__":

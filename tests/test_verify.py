@@ -476,6 +476,7 @@ class TestDiagnostics:
             "RC001", "RC002", "RC003", "RC004", "RC005", "RC006",
             "RL001", "RL002", "RL003", "RL004",
             "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
+            "RE001", "RE002", "RE003", "RE004", "RE005", "RE006",
         }
 
     def test_report_json_round_trip(self):

@@ -20,7 +20,11 @@ Checks ``README.md`` and every ``docs/*.md`` for:
 * **performance coverage** — ``docs/performance.md`` must mention every
   metric key the committed trajectory baseline
   (``benchmarks/results/perf_trajectory.json``) gates in CI, so the
-  documented gate table can't drift from what the ``perf`` job enforces.
+  documented gate table can't drift from what the ``perf`` job enforces;
+* **equivalence rule coverage** — every ``RE`` rule registered in
+  ``repro.verify.diagnostics.RULES`` must have a catalog table row in
+  ``docs/verification.md`` (the certifier's verdicts gate candidate
+  acceptance, so a bare mention is not enough).
 
 Exit status 1 when any finding is reported.  Run as
 ``PYTHONPATH=src python tools/check_docs.py`` from the repository root;
@@ -169,11 +173,40 @@ def check_performance_coverage() -> list:
         data.get("throughput_ips", {}))
     if "sweep" in data:
         gated.append("sweep")
+    if "certify" in data:
+        gated.append("certify")
     for key in gated:
         if key not in text:
             findings.append(
                 f"docs/performance.md: gated metric {key!r} from the "
                 "committed perf baseline is not documented"
+            )
+    return findings
+
+
+def check_equiv_rule_coverage() -> list:
+    """Every RE rule has a catalog table row in docs/verification.md.
+
+    The generic rule-catalog lint (``tools/lint.py``) accepts any
+    mention; equivalence rules gate candidate acceptance in the
+    DSE/autofix hot paths, so each one must carry a proper ``| RE00x |``
+    row with severity and meaning.
+    """
+    import sys
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.verify.diagnostics import RULES
+
+    doc = ROOT / "docs" / "verification.md"
+    if not doc.exists():
+        return ["docs/verification.md: missing"]
+    text = doc.read_text()
+    findings = []
+    for rule in sorted(r for r in RULES if r.startswith("RE")):
+        if not re.search(rf"^\|\s*{rule}\s*\|", text, re.MULTILINE):
+            findings.append(
+                f"docs/verification.md: equivalence rule {rule} has no "
+                "catalog table row (| RE... | severity | meaning |)"
             )
     return findings
 
@@ -186,6 +219,7 @@ def main() -> int:
         findings.extend(check_fences(path, text))
     findings.extend(check_architecture_coverage())
     findings.extend(check_performance_coverage())
+    findings.extend(check_equiv_rule_coverage())
     for f in findings:
         print(f)
     print(f"{len(findings)} finding(s) across {len(doc_files())} documents")

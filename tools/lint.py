@@ -10,9 +10,12 @@ One entry point for every source-hygiene check the CI lint job runs:
 * ``rule catalog sync`` — every rule ID registered in
   ``repro.verify.diagnostics.RULES`` must be documented in
   ``docs/verification.md``, and every rule-shaped ID mentioned there
-  (``RB001``, ``RR003``, ``RP001``, …) must exist in the registry.
-  Adding a verifier rule without documenting it — or documenting a rule
-  that was removed — fails the lint.
+  (``RB001``, ``RR003``, ``RP001``, ``RE002``, …) must exist in the
+  registry.  Adding a verifier rule without documenting it — or
+  documenting a rule that was removed — fails the lint.
+* ``rule-family index sync`` — the rule-family index table at the top
+  of ``docs/verification.md`` must have one row per registered family
+  (RB/RR/RC/RL/RP/RE) and no rows for families with no rules.
 * ``analyzer RULES sync`` — every analyzer module in
   ``src/repro/verify/`` must declare a module-level ``RULES`` tuple
   covering every rule ID its source emits (string literals shaped like
@@ -47,9 +50,12 @@ sys.path.insert(0, str(ROOT / "src"))
 import lint_docstrings  # noqa: E402
 import lint_imports  # noqa: E402
 
-RULE_ID = re.compile(r"\bR[BRCLP]\d{3}\b")
+RULE_ID = re.compile(r"\bR[BRCLPE]\d{3}\b")
 #: a string literal that *is* a rule ID (not merely mentions one)
-RULE_LITERAL = re.compile(r"^R[BRCLP]\d{3}$")
+RULE_LITERAL = re.compile(r"^R[BRCLPE]\d{3}$")
+
+#: a rule-family row in the docs/verification.md index table: ``| RB |``
+FAMILY_ROW = re.compile(r"^\|\s*(R[A-Z])\s*\|", re.MULTILINE)
 
 #: modules in src/repro/verify/ that are not analyzers (no RULES table)
 NON_ANALYZERS = {"__init__", "diagnostics"}
@@ -132,6 +138,30 @@ def check_analyzer_rules() -> int:
     return 1 if findings else 0
 
 
+def check_family_index() -> int:
+    """The rule-family index table covers every registered family."""
+    from repro.verify.diagnostics import RULES
+
+    doc_path = ROOT / "docs" / "verification.md"
+    indexed = set(FAMILY_ROW.findall(doc_path.read_text()))
+    registered = {rule[:2] for rule in RULES}
+    findings = []
+    for fam in sorted(registered - indexed):
+        findings.append(
+            f"{doc_path}: rule family {fam} has registered rules but no "
+            "row in the rule-family index table"
+        )
+    for fam in sorted(indexed - registered):
+        findings.append(
+            f"{doc_path}: rule family {fam} is indexed but has no "
+            "registered rules"
+        )
+    for f in findings:
+        print(f)
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 #: a catalog entry line in docs/schedules.md: ``- `op(...)` — ...``
 TRANSFORM_DOC = re.compile(r"^- `([a-z_]+)\(", re.MULTILINE)
 
@@ -182,6 +212,7 @@ def main() -> int:
         ("import lint", lint_imports.main),
         ("docstring lint", lint_docstrings.main),
         ("verifier rule catalog", check_rule_catalog),
+        ("rule-family index", check_family_index),
         ("analyzer RULES sync", check_analyzer_rules),
         ("recipe catalog sync", check_recipe_catalog),
     ]:
