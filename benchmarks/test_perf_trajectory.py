@@ -12,7 +12,12 @@ in CI:
 * static equivalence certification of the whole folded LeNet-5 build vs
   one interpreter cross-check of a single kernel — the certificate path
   must stay strictly faster, or removing interpreter runs from the
-  DSE/autofix accept paths stops paying.
+  DSE/autofix accept paths stops paying;
+* static memory footprint of the folded MobileNetV1/ResNet-18 builds —
+  arena (interference-colored reuse) vs naive per-buffer activation
+  bytes, and the replicas-per-board packing both imply on the S10SX.
+  These are exact byte counts, not timings: the arena must stay
+  strictly smaller than naive and must never regress vs the baseline.
 
 Results are compared against the committed baseline
 ``benchmarks/results/perf_trajectory.json``.  Raw seconds are not
@@ -58,7 +63,9 @@ from repro.models.twins import TWINS
 from repro.pipeline.cache import CompileCache
 from repro.relay import fuse_operators, init_params
 from repro.runtime.executor import run_folded_functional
+from repro.serve.replica import replicas_per_board
 from repro.verify import certify_build, clear_equiv_cache, dynamic_equiv_check
+from repro.verify.memory import weights_bytes
 from repro.verify.verifier import binding_sets_of
 
 BASELINE_PATH = os.path.join(RESULTS_DIR, "perf_trajectory.json")
@@ -277,6 +284,38 @@ def _measure_certify() -> dict:
     }
 
 
+def _measure_memory() -> dict:
+    """Arena vs naive activation bytes and replica packing (static).
+
+    Deterministic byte counts from the certified ``MemoryPlan`` the plan
+    stage attaches — no probe calibration, no retry protocol.  The
+    replicas-per-board pair shows what the arena buys at serving time:
+    how many copies of the network one S10SX's DDR hosts with naive
+    per-buffer activations vs with the shared arena.
+    """
+    board = board_by_name("S10SX")
+    out = {}
+    for net in ("mobilenet_v1", "resnet18"):
+        fused = fuse_operators(MODELS[net]())
+        config = default_folded_config(net, board)
+        sched = schedule_folded(fused, config, board)
+        plan = plan_folded(fused, sched)
+        mem = plan.memory
+        assert mem is not None, f"{net}: plan stage attached no MemoryPlan"
+        wb = weights_bytes(fused)
+        out[net] = {
+            "arena_bytes": mem.arena_bytes,
+            "naive_bytes": mem.naive_bytes,
+            "reuse_pairs": len(mem.reuse_pairs),
+            "weights_bytes": wb,
+            "replicas_per_board_naive":
+                replicas_per_board(board, mem.naive_bytes + wb),
+            "replicas_per_board":
+                replicas_per_board(board, mem.arena_bytes + wb),
+        }
+    return out
+
+
 @pytest.fixture(scope="module")
 def trajectory():
     """Measure everything once; in update mode also rewrite the baseline.
@@ -302,6 +341,7 @@ def trajectory():
             throughput["lenet5@pipelined"]["value"]),
         "sweep": _measure_sweep(),
         "certify": _measure_certify(),
+        "memory": _measure_memory(),
     }
     if UPDATE:
         os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -383,6 +423,19 @@ def _save_report(current, baseline) -> None:
                  f"{cert['dynamic_check_s'] * 1e3:.1f} ms",
                  f"{bcert.get('dynamic_check_s', 0) * 1e3:.1f} ms",
                  f"{cert['speedup']:.0f}x slower than certifying"])
+    for net in sorted(current.get("memory", {})):
+        mem = current["memory"][net]
+        bmem = baseline.get("memory", {}).get(net, {})
+        saved = 1 - mem["arena_bytes"] / mem["naive_bytes"]
+        rows.append([f"memory {net} arena",
+                     f"{mem['arena_bytes'] / (1 << 20):.1f} MiB",
+                     f"{bmem.get('arena_bytes', 0) / (1 << 20):.1f} MiB",
+                     f"{saved:.0%} under naive "
+                     f"{mem['naive_bytes'] / (1 << 20):.1f} MiB"])
+        rows.append([f"memory {net} replicas/board",
+                     f"{mem['replicas_per_board']}",
+                     f"{bmem.get('replicas_per_board', 0)}",
+                     f"naive packs {mem['replicas_per_board_naive']}"])
     save_table("perf_trajectory", fmt_table(
         "Performance trajectory (current vs committed baseline)",
         ["metric", "current", "baseline", "calibrated"], rows))
@@ -448,6 +501,26 @@ class TestPerfTrajectory:
             f"interpreter cross-check ({cert['dynamic_check_s'] * 1e3:.1f} "
             "ms) — the certifier no longer pays for itself"
         )
+
+    def test_memory_arena_beats_naive(self, trajectory):
+        current, baseline, _ = trajectory
+        for net, mem in sorted(current["memory"].items()):
+            assert mem["arena_bytes"] < mem["naive_bytes"], (
+                f"{net}: arena {mem['arena_bytes']} B does not beat naive "
+                f"{mem['naive_bytes']} B — interference coloring found no reuse"
+            )
+            assert mem["reuse_pairs"] > 0
+            assert (mem["replicas_per_board"]
+                    >= mem["replicas_per_board_naive"])
+            base = baseline.get("memory", {}).get(net)
+            if base:
+                assert mem["arena_bytes"] <= base["arena_bytes"], (
+                    f"{net}: arena grew to {mem['arena_bytes']} B from the "
+                    f"committed {base['arena_bytes']} B — the coloring "
+                    "regressed (byte counts are exact, no band applies)"
+                )
+                assert (mem["replicas_per_board"]
+                        >= base["replicas_per_board"])
 
     def test_parallel_sweep_wall_clock(self, trajectory):
         current, _, _ = trajectory

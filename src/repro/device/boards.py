@@ -52,6 +52,10 @@ class Board:
     #: (896-MAC pointwise kernels route on the S10MX and A10 but not the
     #: S10SX)
     max_kernel_fanout: int = 1100
+    #: global-memory (DDR/HBM) capacity visible to kernels, bytes; the
+    #: static memory certifier (RM003) and the serving layer's
+    #: replicas-per-board packing both bound footprints against this
+    ddr_bytes: int = 8 << 30
 
     @property
     def avail_aluts(self) -> int:
@@ -92,6 +96,7 @@ ARRIA10 = Board(
     enqueue_overhead_us=52.0,  # older host platform (Xeon 8180 node)
     routing_threshold=1.1,
     max_kernel_fanout=1100,
+    ddr_bytes=8 << 30,  # 2x 4 GB DDR4 banks on the dev kit
 )
 
 STRATIX10_SX = Board(
@@ -113,6 +118,7 @@ STRATIX10_SX = Board(
     enqueue_overhead_us=18.0,
     routing_threshold=0.78,
     max_kernel_fanout=800,
+    ddr_bytes=32 << 30,  # 4x 8 GB DDR4 banks
 )
 
 STRATIX10_MX = Board(
@@ -136,6 +142,7 @@ STRATIX10_MX = Board(
     enqueue_overhead_us=30.0,
     routing_threshold=1.2,
     max_kernel_fanout=1300,
+    ddr_bytes=16 << 30,  # 16 GB HBM2 stack
 )
 
 ALL_BOARDS = (STRATIX10_MX, STRATIX10_SX, ARRIA10)

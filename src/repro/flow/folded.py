@@ -395,11 +395,17 @@ def plan_folded(fused: FusedGraph, sched: FoldedSchedule) -> FoldedPlan:
     out_elems = 1
     for d in graph.output.out_shape:
         out_elems *= d
-    return FoldedPlan(
+    plan = FoldedPlan(
         invocations=sched.invocations,
         input_bytes=in_elems * 4,
         output_bytes=out_elems * 4,
     )
+    # attach the certified DDR arena: the deep import (not the package)
+    # keeps plan construction decoupled from the analyzer suite
+    from repro.verify.memory import plan_memory
+
+    plan.memory = plan_memory(fused, plan, subject=f"folded:{graph.name}")
+    return plan
 
 
 def build_folded(

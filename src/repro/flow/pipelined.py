@@ -347,12 +347,19 @@ def plan_pipelined(fused: FusedGraph, sched: PipelinedSchedule) -> PipelinePlan:
     out_elems = 1
     for d in graph.output.out_shape:
         out_elems *= d
-    return PipelinePlan(
+    plan = PipelinePlan(
         stages=stages,
         input_bytes=in_elems * 4,
         output_bytes=out_elems * 4,
         uses_channels=sched.uses_channels,
     )
+    # attach the DDR residency plan (all globally-buffered stages are
+    # concurrently live, so there is no reuse — but RM003 capacity and
+    # the serving layer's replicas-per-board packing still need it)
+    from repro.verify.memory import plan_memory
+
+    plan.memory = plan_memory(fused, plan, subject=f"pipelined:{graph.name}")
+    return plan
 
 
 def build_pipelined(

@@ -150,10 +150,18 @@ def _verify_stage(
     interpreter: an unprovable kernel surfaces as an ``RE006`` warning
     and is left for the accept paths (autofix/DSE) to dynamically
     cross-check.
+
+    The memory certifier (RM rules, :mod:`repro.verify.memory`) runs
+    here too: activation liveness over the plan, arena-slot soundness
+    (RM001/RM004), symbolic-size bounds (RM002) and board DDR capacity
+    (RM003) all gate synthesis; the footprint counters
+    (``memory_arena_bytes``/``memory_saved_bytes``/...) land on the
+    stage trace.
     """
 
     def fn(ctx: Context):
         from repro.verify.equiv import certify_build
+        from repro.verify.memory import check_memory
 
         plan = planner(ctx)
         report = verify_build(
@@ -170,6 +178,17 @@ def _verify_stage(
                 dynamic_fallback=False,
             )
             report.merge(equiv_report)
+        # memory certifier (RM rules): liveness, arena soundness, board
+        # DDR capacity — an RM error fails the build pre-synthesis.
+        # Plan-less runs (bare-program verification) have no invocation
+        # sequence to analyze, so the RM gate has nothing to certify.
+        if plan is not None and "fused" in ctx:
+            mem_report, _, _ = check_memory(
+                ctx.value("fused"), plan,
+                program=ctx.value("program"), board=board,
+                subject=ctx.pipeline,
+            )
+            report.merge(mem_report)
         return assert_clean(report)
 
     return Stage("verify", "verify", fn)

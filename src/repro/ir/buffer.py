@@ -95,6 +95,31 @@ class Buffer:
         n = self.num_elements()
         return None if n is None else n * 4
 
+    def require_num_elements(self) -> int:
+        """Element count, raising when the shape is symbolic.
+
+        Callers that *allocate* (host buffers, arena slots, transfer
+        sizes) must use this instead of :meth:`num_elements`: a silently
+        propagated ``None`` turns into a ``TypeError`` far from the
+        cause.  The failure is the RM002 condition — a size unresolvable
+        without bindings — reported where it arises.
+        """
+        n = self.num_elements()
+        if n is None:
+            sym = ", ".join(
+                d.name for d in self.shape if isinstance(d, _e.Var)
+            )
+            raise IRError(
+                f"buffer {self.name}: size is symbolic in ({sym}) and "
+                "cannot be resolved without bindings (RM002) — bind the "
+                "shape vars or verify the plan with repro.verify.memory"
+            )
+        return n
+
+    def require_size_bytes(self) -> int:
+        """Byte size, raising (RM002 condition) when symbolic."""
+        return self.require_num_elements() * 4
+
     def flatten_index(self, indices: Sequence[_e.ExprLike]) -> _e.Expr:
         """Row-major flattening of multi-dimensional indices.
 

@@ -380,6 +380,10 @@ def _describe_verify_report(r: VerifyReport) -> Tuple[int, Dict[str, float]]:
     counters.update(
         {k: v for k, v in c.items() if k.startswith("equiv_")}
     )
+    # memory-certifier footprint accounting (repro.verify.memory)
+    counters.update(
+        {k: v for k, v in c.items() if k.startswith("memory_")}
+    )
     return len(r.diagnostics), counters
 
 

@@ -125,6 +125,18 @@ def _demo_fault_plan():
     )
 
 
+def _bad_spec(out: TextIO, message: str) -> int:
+    """Malformed NETWORK[:...] spec: explain, print USAGE, exit 2.
+
+    Every report mode funnels spec errors through here so the CLI exit
+    contract is uniform: status 2 *and* the usage text, regardless of
+    which component of the spec was wrong.
+    """
+    out.write(message + "\n\n")
+    out.write(USAGE)
+    return 2
+
+
 def trace_deployment(
     spec: str,
     out: TextIO = sys.stdout,
@@ -147,21 +159,19 @@ def trace_deployment(
     parts = spec.split(":")
     network = parts[0]
     if network not in MODELS:
-        out.write(f"unknown network {network!r}; "
-                  f"choose from: {', '.join(sorted(MODELS))}\n")
-        return 2
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
     mode = parts[1] if len(parts) > 1 else (
         "pipelined" if network == "lenet5" else "folded"
     )
     if mode not in ("pipelined", "folded"):
-        out.write(f"unknown mode {mode!r}; choose 'pipelined' or 'folded'\n")
-        return 2
+        return _bad_spec(
+            out, f"unknown mode {mode!r}; choose 'pipelined' or 'folded'")
     try:
         board = board_by_name(parts[2]) if len(parts) > 2 else STRATIX10_SX
     except KeyError:
-        out.write(f"unknown board {parts[2]!r}; choose from: "
-                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown board {parts[2]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
     if with_faults:
         return _trace_with_faults(network, board, out, as_json)
     try:
@@ -303,15 +313,13 @@ def verify_deployment(
     parts = spec.split(":")
     network = parts[0]
     if network not in MODELS:
-        out.write(f"unknown network {network!r}; "
-                  f"choose from: {', '.join(sorted(MODELS))}\n")
-        return 2
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
     try:
         board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
     except KeyError:
-        out.write(f"unknown board {parts[1]!r}; choose from: "
-                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown board {parts[1]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
 
     fused = fuse_operators(MODELS[network]())
     if network == "lenet5":
@@ -365,15 +373,13 @@ def certify_deployment(
     parts = spec.split(":")
     network = parts[0]
     if network not in MODELS:
-        out.write(f"unknown network {network!r}; "
-                  f"choose from: {', '.join(sorted(MODELS))}\n")
-        return 2
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
     try:
         board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
     except KeyError:
-        out.write(f"unknown board {parts[1]!r}; choose from: "
-                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown board {parts[1]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
 
     fused = fuse_operators(MODELS[network]())
     try:
@@ -412,6 +418,79 @@ def certify_deployment(
         + "\n"
     )
     return 0 if ok else 1
+
+
+
+def memory_deployment(
+    spec: str,
+    out: TextIO = sys.stdout,
+    as_json: bool = False,
+) -> int:
+    """Static memory report: liveness, arena map, bytes saved (RM rules).
+
+    ``spec`` is ``NETWORK[:BOARD]`` — e.g. ``mobilenet_v1:A10``.  Board
+    defaults to S10SX.  The network is built through the *folded* flow
+    and stops after planning — no synthesis — so even network/board
+    pairs that cannot fit still get a memory verdict.  Prints the
+    per-value liveness table, the DDR arena map with its reuse pairs,
+    and the resident footprint vs the board's capacity; the JSON form
+    carries the full :class:`~repro.verify.memory.MemoryPlan` and
+    certificate.  Exit status: 0 iff the plan is RM-clean, 1 otherwise,
+    2 on a bad spec.
+    """
+    import json
+
+    from repro.device import ALL_BOARDS, board_by_name
+    from repro.flow.deploy import default_folded_config
+    from repro.flow.folded import FoldedConfig, lower_folded, plan_folded, \
+        schedule_folded
+    from repro.flow.stages import MODELS
+    from repro.relay import fuse_operators
+    from repro.verify.memory import check_memory, format_memory_plan
+
+    parts = spec.split(":")
+    network = parts[0]
+    if network not in MODELS:
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
+    try:
+        board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
+    except KeyError:
+        return _bad_spec(out, f"unknown board {parts[1]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
+
+    fused = fuse_operators(MODELS[network]())
+    try:
+        config = default_folded_config(network, board)
+    except ReproError:
+        # no thesis tiling table (LeNet-class): the generic folded
+        # config still plans every layer
+        config = FoldedConfig()
+    sched = schedule_folded(fused, config, board)
+    plan = plan_folded(fused, sched)
+    program = lower_folded(sched)
+    report, memory, cert = check_memory(
+        fused, plan, program=program, board=board,
+        subject=f"{network}:{board.name}",
+    )
+    if as_json:
+        payload = report.to_dict()
+        payload["memory"] = memory.to_dict() if memory is not None else None
+        payload["certificate"] = cert.to_dict()
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0 if report.clean else 1
+    if memory is not None:
+        out.write(format_memory_plan(memory, fused, board) + "\n\n")
+    out.write(report.format_table() + "\n")
+    out.write(
+        "\nverdict: "
+        + (f"memory plan certified (key {cert.key[:12]}) — "
+           "safe to adopt the arena"
+           if cert.certified else
+           "memory plan REJECTED — see RM findings above")
+        + "\n"
+    )
+    return 0 if report.clean else 1
 
 
 def advise_deployment(
@@ -456,24 +535,20 @@ def advise_deployment(
     parts = spec.split(":")
     network = parts[0]
     if network not in MODELS:
-        out.write(f"unknown network {network!r}; "
-                  f"choose from: {', '.join(sorted(MODELS))}\n")
-        return 2
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
     try:
         board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
     except KeyError:
-        out.write(f"unknown board {parts[1]!r}; choose from: "
-                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown board {parts[1]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
     level = parts[2] if len(parts) > 2 else LEVELS[-1]
     if level not in LEVELS:
-        out.write(f"unknown level {level!r}; "
-                  f"choose from: {', '.join(LEVELS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown level {level!r}; "
+                         f"choose from: {', '.join(LEVELS)}")
     if len(parts) > 2 and network != "lenet5":
-        out.write("optimization levels only apply to the pipelined "
-                  "network (lenet5)\n")
-        return 2
+        return _bad_spec(out, "optimization levels only apply to the "
+                         "pipelined network (lenet5)")
 
     try:
         fused = fuse_operators(MODELS[network]())
@@ -534,15 +609,13 @@ def autofix_deployment(
     parts = spec.split(":")
     network = parts[0]
     if network not in MODELS:
-        out.write(f"unknown network {network!r}; "
-                  f"choose from: {', '.join(sorted(MODELS))}\n")
-        return 2
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
     try:
         board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
     except KeyError:
-        out.write(f"unknown board {parts[1]!r}; choose from: "
-                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown board {parts[1]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
     try:
         result = autofix_network(network, board)
     except ReproError as e:
@@ -596,20 +669,18 @@ def serve_demo(
     parts = spec.split(":")
     network = parts[0]
     if network not in MODELS:
-        out.write(f"unknown network {network!r}; "
-                  f"choose from: {', '.join(sorted(MODELS))}\n")
-        return 2
+        return _bad_spec(out, f"unknown network {network!r}; "
+                         f"choose from: {', '.join(sorted(MODELS))}")
     try:
         board = board_by_name(parts[1]) if len(parts) > 1 else STRATIX10_SX
     except KeyError:
-        out.write(f"unknown board {parts[1]!r}; choose from: "
-                  f"{', '.join(b.name for b in ALL_BOARDS)}\n")
-        return 2
+        return _bad_spec(out, f"unknown board {parts[1]!r}; choose from: "
+                         f"{', '.join(b.name for b in ALL_BOARDS)}")
     try:
         n_replicas = int(parts[2]) if len(parts) > 2 else 4
     except ValueError:
-        out.write(f"replica count {parts[2]!r} is not an integer\n")
-        return 2
+        return _bad_spec(
+            out, f"replica count {parts[2]!r} is not an integer")
 
     replicas = provision_replicas(network, board, n_replicas)
     per_image_us = replicas[0].service_us(1)
@@ -717,10 +788,17 @@ modes:
                           unfittable builds; SPEC = NETWORK[:BOARD],
                           e.g. resnet50:A10; exits 0 only when all
                           recipe-backed kernels certify
+  --memory SPEC           static memory certifier (RM rules): activation
+                          liveness over the folded plan, the shared DDR
+                          arena map with its reuse pairs, bytes saved vs
+                          naive per-buffer allocation, and the board-
+                          capacity verdict — no synthesis, works on
+                          unfittable builds; SPEC = NETWORK[:BOARD],
+                          e.g. mobilenet_v1:A10; exits 0 iff RM-clean
 
 flags:
   --json                  emit JSON instead of tables
-                          (--trace/--serve/--verify/--advise)
+                          (--trace/--serve/--verify/--advise/--memory)
   --faults                run --trace under the demo fault plan through
                           the resilient degradation ladder
   --overload              drive --serve past pool capacity against a
@@ -769,6 +847,11 @@ def main(out: TextIO = sys.stdout, argv: Optional[List[str]] = None) -> int:
             out.write(USAGE)
             return 2
         return certify_deployment(args[1], out, as_json="--json" in args[2:])
+    if args and args[0] == "--memory":
+        if len(args) < 2:
+            out.write(USAGE)
+            return 2
+        return memory_deployment(args[1], out, as_json="--json" in args[2:])
     if args and args[0] == "--serve":
         if len(args) < 2:
             out.write(USAGE)

@@ -130,11 +130,38 @@ def run_folded_functional(
     interp: str = "auto",
     events: Optional[List[Tuple[str, object]]] = None,
 ) -> np.ndarray:
-    """Interpret a folded program layer-invocation by layer-invocation."""
+    """Interpret a folded program layer-invocation by layer-invocation.
+
+    When the plan carries a certified ``memory`` arena
+    (:class:`repro.verify.memory.MemoryPlan`), activations live in
+    views of one shared float32 array at their assigned offsets — the
+    deployment allocates the arena, not one buffer per activation.
+    Zero-filling a slot before its defining invocation is bit-identical
+    to allocating a fresh zeroed buffer: the RM001 proof is exactly the
+    statement that no still-needed value shares those bytes.
+    """
     cls = _interpreter_class(interp)
-    values: Dict[str, np.ndarray] = {
-        fused.graph.input.name: np.ascontiguousarray(x, np.float32).ravel()
-    }
+    memory = getattr(plan, "memory", None)
+    arena = (
+        np.zeros(memory.arena_bytes // 4, np.float32)
+        if memory is not None else None
+    )
+
+    def _slot(name: str, n: int) -> np.ndarray:
+        """Fresh zeroed storage for a value: its arena view, or a
+        private buffer when the plan carries no (or a partial) arena."""
+        if arena is not None and name in memory.offsets:
+            view = arena[memory.offsets[name] // 4:][:n]
+            if view.size == n:
+                view[:] = 0.0
+                return view
+        return np.zeros(n, np.float32)
+
+    x_flat = np.ascontiguousarray(x, np.float32).ravel()
+    in_name = fused.graph.input.name
+    x_slot = _slot(in_name, x_flat.size)
+    x_slot[:] = x_flat
+    values: Dict[str, np.ndarray] = {in_name: x_slot}
     node_of = {fn.name: fn for fn in fused}
     last = None
     for inv in plan.invocations:
@@ -149,7 +176,7 @@ def run_folded_functional(
         out_name = kernel.output_buffer
         assert out_name is not None
         n = _numel(fn.out_shape)
-        bufs[out_name] = np.zeros(n, np.float32)
+        bufs[out_name] = _slot(fn.output_node.name, n)
         it = cls(bufs, bindings=inv.bindings)
         it.run(kernel)
         _drain_events(it, kernel.name, events)

@@ -130,6 +130,13 @@ class SimContext:
         return q
 
     def create_buffer(self, name: str, size_bytes: int) -> CLBuffer:
+        if size_bytes is None:
+            # a symbolic Buffer.size_bytes() propagated here unresolved
+            # (the RM002 condition); fail with the cause, not a TypeError
+            raise RuntimeSimError(
+                f"buffer {name!r}: size is unresolved (symbolic shape, "
+                "RM002) — resolve bindings before allocating"
+            )
         if size_bytes <= 0:
             raise RuntimeSimError("buffer size must be positive")
         return CLBuffer(name, size_bytes)

@@ -50,6 +50,9 @@ class PipelinePlan:
     #: whether stages communicate via channels at all (base/unroll levels
     #: move activations through global memory instead)
     uses_channels: bool = False
+    #: certified DDR residency (:class:`repro.verify.memory.MemoryPlan`);
+    #: ``None`` when the footprint could not be bounded statically
+    memory: Optional[object] = None
 
 
 @dataclass
@@ -78,3 +81,8 @@ class FoldedPlan:
     invocations: List[Invocation]
     input_bytes: int = 0
     output_bytes: int = 0
+    #: certified DDR arena (:class:`repro.verify.memory.MemoryPlan`):
+    #: non-interfering activations share global-memory slots, and the
+    #: functional executor allocates the arena instead of one buffer per
+    #: activation.  ``None`` when liveness could not be bounded.
+    memory: Optional[object] = None

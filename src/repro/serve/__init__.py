@@ -39,7 +39,9 @@ from repro.serve.replica import (
     LogitsCache,
     Replica,
     cpu_service_us,
+    deployment_ddr_bytes,
     provision_replicas,
+    replicas_per_board,
     reprovision_replica,
 )
 from repro.serve.request import (
@@ -72,8 +74,10 @@ __all__ = [
     "chaos_plan",
     "cpu_service_us",
     "input_fingerprint",
+    "deployment_ddr_bytes",
     "percentile",
     "provision_replicas",
+    "replicas_per_board",
     "reprovision_replica",
     "summarize",
 ]

@@ -123,6 +123,12 @@ class ServeMetrics:
     watchdog_trips: int = 0
     #: fraction of replica-time spent in the dispatch rotation
     availability: float = 1.0
+    #: certified resident DDR per device replica (arena + weights), bytes;
+    #: 0 when the pool is CPU-only
+    ddr_per_replica_bytes: int = 0
+    #: how many such replicas one board's DDR capacity can host
+    #: (``serve.replica.replicas_per_board``); 0 when unknown
+    replicas_per_board: int = 0
     per_replica: List[ReplicaStats] = field(default_factory=list)
 
     # -- export ----------------------------------------------------------
@@ -149,6 +155,8 @@ class ServeMetrics:
             "refills": self.refills,
             "watchdog_trips": self.watchdog_trips,
             "availability": self.availability,
+            "ddr_per_replica_bytes": self.ddr_per_replica_bytes,
+            "replicas_per_board": self.replicas_per_board,
             "replicas": [r.to_dict() for r in self.per_replica],
         }
 
@@ -176,6 +184,12 @@ class ServeMetrics:
             f"deaths {self.deaths}  refills {self.refills}  "
             f"watchdog {self.watchdog_trips}",
         ]
+        if self.ddr_per_replica_bytes:
+            lines.append(
+                f"memory   ddr/replica "
+                f"{self.ddr_per_replica_bytes / (1 << 20):.1f} MiB  "
+                f"replicas/board {self.replicas_per_board}"
+            )
         if self.per_replica:
             header = (
                 f"{'replica':>7} {'board':<6} {'rung':<10} {'bitstream':<9} "

@@ -96,6 +96,10 @@ class Replica:
     #: synthesize-stage cache outcome at provision time ('hit'/'miss'),
     #: None for the CPU rung
     bitstream_cache: Optional[str] = None
+    #: certified resident DDR bytes of this replica's deployment
+    #: (activation arena + weights, from the RM-certified
+    #: :class:`~repro.verify.memory.MemoryPlan`); None for the CPU rung
+    ddr_bytes: Optional[int] = None
     #: virtual time until which the replica is busy
     busy_until_us: float = 0.0
     busy_us: float = 0.0
@@ -141,6 +145,33 @@ def _preferred_modes(network: str) -> List[str]:
     return ["pipelined", "folded"] if network == "lenet5" else ["folded"]
 
 
+def deployment_ddr_bytes(dep) -> Optional[int]:
+    """Certified resident DDR bytes of one deployment (arena + weights).
+
+    Comes from the RM-certified :class:`~repro.verify.memory.MemoryPlan`
+    the plan stage attached; ``None`` when the footprint could not be
+    bounded statically.
+    """
+    from repro.verify.memory import weights_bytes
+
+    mem = getattr(dep.plan, "memory", None)
+    if mem is None:
+        return None
+    return mem.arena_bytes + weights_bytes(dep.fused)
+
+
+def replicas_per_board(board: Board, ddr_bytes: Optional[int]) -> int:
+    """How many replicas of a deployment one board's DDR can host.
+
+    The serving-fleet packing bound the ROADMAP's replicas-per-board
+    item asks for: capacity // certified-footprint.  0 when the
+    footprint is unknown (CPU rung or unbounded plan).
+    """
+    if not ddr_bytes or ddr_bytes <= 0 or not board.ddr_bytes:
+        return 0
+    return board.ddr_bytes // ddr_bytes
+
+
 def _build_replica(
     rid: int,
     network: str,
@@ -175,6 +206,7 @@ def _build_replica(
         return Replica(
             replica_id=rid, network=network, board=board, rung=mode,
             deployment=dep, bitstream_cache=cache_status,
+            ddr_bytes=deployment_ddr_bytes(dep),
         )
     _record(
         "fallback", "serve",
@@ -221,6 +253,19 @@ def provision_replicas(
             f"pool of {n} {network} replica(s) on {board.name} is CPU-only: "
             f"every device build failed; serving continues at CPU latency",
         )
+    # replicas-per-board packing from the certified memory footprint:
+    # more replicas than one board's DDR can hold means the pool spans
+    # multiple physical boards — say so, don't silently over-pack
+    footprints = [r.ddr_bytes for r in replicas if r.ddr_bytes]
+    if footprints:
+        capacity = replicas_per_board(board, max(footprints))
+        if 0 < capacity < len(footprints):
+            _record(
+                "capacity", "serve",
+                f"{len(footprints)} device replica(s) of {network} need "
+                f"{max(footprints)} DDR bytes each; one {board.name} holds "
+                f"{capacity} — pool spans multiple boards",
+            )
     return replicas
 
 

@@ -59,6 +59,7 @@ from repro.serve.replica import (
     LogitsCache,
     Replica,
     cpu_service_us,
+    replicas_per_board,
     reprovision_replica,
 )
 from repro.serve.request import InferenceResponse, RequestTrace
@@ -571,6 +572,14 @@ class Server:
                 refills=health.refills,
                 timeline=[dict(t) for t in health.timeline],
             ))
+        # packing bound from the certified memory footprint: the worst
+        # (largest) device replica decides how many fit one board
+        footprints = [r.ddr_bytes for r in self.replicas if r.ddr_bytes]
+        ddr_per_replica = max(footprints, default=0)
+        per_board = 0
+        if footprints:
+            rep = next(r for r in self.replicas if r.ddr_bytes)
+            per_board = replicas_per_board(rep.board, ddr_per_replica)
         return ServeMetrics(
             requests=len(responses),
             completed=len(served),
@@ -592,5 +601,7 @@ class Server:
             refills=lc.refills,
             watchdog_trips=watchdog_trips,
             availability=lc.availability(max(0.0, t1 - t0)),
+            ddr_per_replica_bytes=ddr_per_replica,
+            replicas_per_board=per_board,
             per_replica=stats,
         )

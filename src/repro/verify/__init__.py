@@ -7,7 +7,7 @@ the most expensive class of bug in the FPGA flow.  This package proves
 their absence *before* synthesis, as the ``verify`` stage between
 ``codegen`` and ``synthesize`` in every deployment pipeline.
 
-Four analyzer families, each with stable rule IDs:
+Seven analyzer families, each with stable rule IDs:
 
 * **bounds** (``RB``) — interval analysis of every ``Load``/``Store``
   index under symbolic shape bindings; folded kernels are verified once
@@ -31,6 +31,18 @@ Four analyzer families, each with stable rule IDs:
   companion :mod:`~repro.verify.dominance` module turns the same model
   into partial-order proofs that let the DSE skip dominated tilings
   before synthesis.
+* **memory** (``RM``) — whole-network liveness over the execution
+  plan's invocation sequence, interference-based coloring of activation
+  buffers into one shared DDR arena, and a machine-checkable soundness
+  certificate (:class:`~repro.verify.memory.MemoryCertificate`): reuse
+  pairs must have disjoint live ranges (RM001), sizes must be bounded
+  under bindings (RM002), the footprint must fit the board's DDR
+  (RM003), and the plan must not drift from the program (RM004); RM005
+  advice names reusable-but-unshared bytes.  The certified
+  :class:`~repro.verify.memory.MemoryPlan` is adopted by deployments
+  (the executor allocates the arena), the DSE partial order
+  (``StaticProfile.ddr_bytes``) and the serving layer's
+  replicas-per-board packing.
 * **equivalence** (``RE``) — translation validation of schedule
   rewrites: per-transform legality proofs for every recipe step plus a
   whole-kernel symbolic store-set/value comparison between the naive
@@ -76,14 +88,29 @@ from repro.verify.dominance import (
     profile_conv_tiling,
 )
 from repro.verify.interval import Interval, interval_of
+from repro.verify.memory import (
+    BufferLife,
+    Footprint,
+    MemoryCertificate,
+    MemoryPlan,
+    check_memory,
+    format_memory_plan,
+    network_footprint,
+    plan_memory,
+    weights_bytes,
+)
 from repro.verify.perf import check_perf, roof_elems
 from repro.verify.races import check_races
 from repro.verify.verifier import assert_clean, binding_sets_of, verify_build
 
 __all__ = [
     "Diagnostic",
+    "BufferLife",
     "EquivCertificate",
+    "Footprint",
     "Interval",
+    "MemoryCertificate",
+    "MemoryPlan",
     "PruneDecision",
     "RULES",
     "SEVERITIES",
@@ -99,6 +126,7 @@ __all__ = [
     "channel_counts",
     "check_bounds",
     "check_channels",
+    "check_memory",
     "check_perf",
     "check_races",
     "clear_equiv_cache",
@@ -106,13 +134,17 @@ __all__ = [
     "dynamic_equiv_check",
     "equiv_cache_stats",
     "format_advice",
+    "format_memory_plan",
     "format_prune_preview",
     "infeasible_reason",
     "interval_of",
     "lint_source",
+    "network_footprint",
     "plan_conv_sweep",
     "profile_conv_tiling",
+    "plan_memory",
     "prune_preview",
     "roof_elems",
     "verify_build",
+    "weights_bytes",
 ]

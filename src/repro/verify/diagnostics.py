@@ -64,6 +64,11 @@ RULES: Dict[str, str] = {
     "RE004": "symbolic split factor does not divide the axis extent under a binding set (tail iterations dropped)",
     "RE005": "pinned unit stride binds to a non-unit value in a binding set (wrong addressing)",
     "RE006": "equivalence not statically provable (outside the prover fragment); one dynamic cross-check gates acceptance",
+    "RM001": "memory reuse pair with overlapping live ranges (a still-live activation would be clobbered)",
+    "RM002": "buffer size unresolvable under the binding sets (symbolic shape; footprint cannot be bounded)",
+    "RM003": "network DDR footprint (arena + weights) exceeds the board's global-memory capacity",
+    "RM004": "memory plan drifts from the program/plan (stale slot, wrong size, or access escapes its slot)",
+    "RM005": "non-interfering activation buffers left unshared (safe arena reuse would save bytes)",
 }
 
 

@@ -44,6 +44,7 @@ from repro.topi import (
     depthwise_symbolic,
     schedule_symbolic_conv,
 )
+from repro.verify.memory import network_footprint
 from repro.verify.perf import roof_elems
 
 GroupId = Tuple[str, int, int]
@@ -71,6 +72,11 @@ class StaticProfile:
     cycles: Tuple[int, ...]
     #: per member-layer DRAM traffic bytes, in graph order
     traffic: Tuple[int, ...]
+    #: whole-network resident DDR bytes (certified activation arena +
+    #: weights, :func:`repro.verify.memory.network_footprint`); a
+    #: tiling-independent floor within one sweep, but part of the
+    #: partial order so cross-network frontiers stay sound
+    ddr_bytes: int = 0
 
 
 def group_members(fused: FusedGraph, group: GroupId) -> List[FusedNode]:
@@ -165,6 +171,7 @@ def profile_conv_tiling(
         replicas=replicas, aluts=aluts, ffs=ffs, rams=rams, dsps=dsps,
         max_kernel_dsps=max_kernel_dsps,
         cycles=tuple(cycles), traffic=tuple(traffic),
+        ddr_bytes=network_footprint(fused).ddr_bytes,
     )
 
 
@@ -183,6 +190,7 @@ def dominates(better: StaticProfile, worse: StaticProfile) -> bool:
         and better.rams <= worse.rams
         and better.dsps <= worse.dsps
         and better.max_kernel_dsps <= worse.max_kernel_dsps
+        and better.ddr_bytes <= worse.ddr_bytes
         and all(b <= w for b, w in zip(better.cycles, worse.cycles))
         and all(b <= w for b, w in zip(better.traffic, worse.traffic))
     )
@@ -206,6 +214,11 @@ def infeasible_reason(profile: StaticProfile, board: Board) -> Optional[str]:
         return (
             f"kernel fanout {profile.max_kernel_dsps} exceeds "
             f"{board.max_kernel_fanout} (RoutingError guaranteed)"
+        )
+    if board.ddr_bytes and profile.ddr_bytes > board.ddr_bytes:
+        return (
+            f"network needs {profile.ddr_bytes} DDR bytes, board has "
+            f"{board.ddr_bytes} (RM003: statically infeasible)"
         )
     roof = roof_elems(board)
     if profile.access_width_elems > roof:

@@ -1,6 +1,8 @@
 """Board, transfer-model and runtime-simulation tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.device import (
     ALL_BOARDS,
@@ -65,6 +67,37 @@ class TestTransfers:
         """The engineering-sample S10MX writes are far slower (Fig 6.2)."""
         size = 3136  # a LeNet input
         assert h2d_time_us(STRATIX10_MX, size) > 8 * h2d_time_us(STRATIX10_SX, size)
+
+
+class TestTransferEdges:
+    """Zero/negative sizes and the bytes-monotonicity contract.
+
+    The serving cost model and the memory certifier both difference
+    transfer times across sizes, so ``t(size)`` must never decrease as
+    bytes grow — otherwise a "larger transfer is cheaper" artifact
+    would leak into batch-size selection."""
+
+    @pytest.mark.parametrize("board", ALL_BOARDS, ids=lambda b: b.name)
+    def test_zero_and_negative_sizes_are_free(self, board):
+        for size in (0, -1, -4096):
+            assert h2d_time_us(board, size) == 0.0
+            assert d2h_time_us(board, size) == 0.0
+
+    @pytest.mark.parametrize("board", ALL_BOARDS, ids=lambda b: b.name)
+    def test_one_byte_pays_latency(self, board):
+        assert h2d_time_us(board, 1) >= board.transfer_latency_us
+        assert d2h_time_us(board, 1) >= board.transfer_latency_us
+
+    @pytest.mark.parametrize("board", ALL_BOARDS, ids=lambda b: b.name)
+    @given(
+        a=st.integers(min_value=0, max_value=1 << 28),
+        b=st.integers(min_value=0, max_value=1 << 28),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_times_monotonic_in_bytes(self, board, a, b):
+        lo, hi = sorted((a, b))
+        assert h2d_time_us(board, lo) <= h2d_time_us(board, hi)
+        assert d2h_time_us(board, lo) <= d2h_time_us(board, hi)
 
 
 class TestPipelinedSimulation:

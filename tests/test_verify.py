@@ -477,6 +477,7 @@ class TestDiagnostics:
             "RL001", "RL002", "RL003", "RL004",
             "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
             "RE001", "RE002", "RE003", "RE004", "RE005", "RE006",
+            "RM001", "RM002", "RM003", "RM004", "RM005",
         }
 
     def test_report_json_round_trip(self):

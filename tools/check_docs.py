@@ -24,7 +24,11 @@ Checks ``README.md`` and every ``docs/*.md`` for:
 * **equivalence rule coverage** — every ``RE`` rule registered in
   ``repro.verify.diagnostics.RULES`` must have a catalog table row in
   ``docs/verification.md`` (the certifier's verdicts gate candidate
-  acceptance, so a bare mention is not enough).
+  acceptance, so a bare mention is not enough);
+* **memory rule coverage** — likewise every ``RM`` rule must have a
+  catalog table row in ``docs/verification.md`` (RM verdicts fail
+  builds pre-synthesis and certify the shared-arena reuse plan the
+  executor allocates from, so each rule needs documented semantics).
 
 Exit status 1 when any finding is reported.  Run as
 ``PYTHONPATH=src python tools/check_docs.py`` from the repository root;
@@ -175,6 +179,8 @@ def check_performance_coverage() -> list:
         gated.append("sweep")
     if "certify" in data:
         gated.append("certify")
+    if "memory" in data:
+        gated.append("memory")
     for key in gated:
         if key not in text:
             findings.append(
@@ -211,6 +217,33 @@ def check_equiv_rule_coverage() -> list:
     return findings
 
 
+def check_memory_rule_coverage() -> list:
+    """Every RM rule has a catalog table row in docs/verification.md.
+
+    RM errors fail builds in the verify stage and the certified
+    ``MemoryPlan`` drives the executor's arena allocation, the DSE
+    footprint axis and serving's replicas-per-board packing — so each
+    rule must carry a proper ``| RM00x |`` row, not a bare mention.
+    """
+    import sys
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.verify.diagnostics import RULES
+
+    doc = ROOT / "docs" / "verification.md"
+    if not doc.exists():
+        return ["docs/verification.md: missing"]
+    text = doc.read_text()
+    findings = []
+    for rule in sorted(r for r in RULES if r.startswith("RM")):
+        if not re.search(rf"^\|\s*{rule}\s*\|", text, re.MULTILINE):
+            findings.append(
+                f"docs/verification.md: memory rule {rule} has no "
+                "catalog table row (| RM... | severity | meaning |)"
+            )
+    return findings
+
+
 def main() -> int:
     findings = []
     for path in doc_files():
@@ -220,6 +253,7 @@ def main() -> int:
     findings.extend(check_architecture_coverage())
     findings.extend(check_performance_coverage())
     findings.extend(check_equiv_rule_coverage())
+    findings.extend(check_memory_rule_coverage())
     for f in findings:
         print(f)
     print(f"{len(findings)} finding(s) across {len(doc_files())} documents")

@@ -15,7 +15,7 @@ One entry point for every source-hygiene check the CI lint job runs:
   documenting a rule that was removed — fails the lint.
 * ``rule-family index sync`` — the rule-family index table at the top
   of ``docs/verification.md`` must have one row per registered family
-  (RB/RR/RC/RL/RP/RE) and no rows for families with no rules.
+  (RB/RR/RC/RL/RP/RM/RE) and no rows for families with no rules.
 * ``analyzer RULES sync`` — every analyzer module in
   ``src/repro/verify/`` must declare a module-level ``RULES`` tuple
   covering every rule ID its source emits (string literals shaped like
@@ -50,9 +50,9 @@ sys.path.insert(0, str(ROOT / "src"))
 import lint_docstrings  # noqa: E402
 import lint_imports  # noqa: E402
 
-RULE_ID = re.compile(r"\bR[BRCLPE]\d{3}\b")
+RULE_ID = re.compile(r"\bR[BRCLPEM]\d{3}\b")
 #: a string literal that *is* a rule ID (not merely mentions one)
-RULE_LITERAL = re.compile(r"^R[BRCLPE]\d{3}$")
+RULE_LITERAL = re.compile(r"^R[BRCLPEM]\d{3}$")
 
 #: a rule-family row in the docs/verification.md index table: ``| RB |``
 FAMILY_ROW = re.compile(r"^\|\s*(R[A-Z])\s*\|", re.MULTILINE)
